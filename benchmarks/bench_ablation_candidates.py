@@ -1,0 +1,91 @@
+"""Ablation — candidate-community restriction (Eq. 9) vs. full search.
+
+DESIGN.md §5.  TxAllo restricts each node's destination search to the
+communities it actually connects to.  This ablation runs the optimisation
+with the restriction disabled (every node considers all k communities)
+and verifies the restriction loses (almost) no quality while the sweep
+touches far fewer candidates.
+"""
+
+import pytest
+
+from repro.core.gtxallo import g_txallo
+from repro.core.louvain import louvain_partition
+from repro.core.objective import GainComputer
+from repro.core.params import TxAlloParams
+
+
+def full_search_sweep(alloc, order, epsilon, max_sweeps=100):
+    """The optimisation phase with C_v forced to all communities."""
+    gains = GainComputer(alloc)
+    k = alloc.params.k
+    candidates_evaluated = 0
+    sweeps = 0
+    while sweeps < max_sweeps:
+        sweeps += 1
+        sweep_gain = 0.0
+        for v in order:
+            by_shard, w_self, w_ext = alloc.neighbour_shard_weights(v)
+            p = alloc.shard_of(v)
+            all_candidates = [q for q in range(k) if q != p]
+            candidates_evaluated += len(all_candidates)
+            q, gain = gains.best_move(v, all_candidates, by_shard, w_self, w_ext, p)
+            if q is not None and gain > 0.0:
+                alloc.move(v, q, weights=(by_shard, w_self, w_ext))
+                sweep_gain += gain
+        if sweep_gain < epsilon:
+            break
+    return sweeps, candidates_evaluated
+
+
+@pytest.fixture(scope="module")
+def comparison(workload):
+    params = TxAlloParams.with_capacity_for(workload.num_transactions, k=20, eta=2.0)
+    restricted = g_txallo(workload.graph, params)
+
+    # Re-run the optimisation phase from the same Louvain start, but with
+    # the full candidate search.
+    partition = louvain_partition(workload.graph)
+    full_run = g_txallo(workload.graph, params, initial_partition=partition)
+    full_alloc = full_run.allocation.copy()
+    sweeps, evaluated = full_search_sweep(
+        full_alloc, workload.graph.nodes_sorted(), params.epsilon
+    )
+    return params, restricted, full_alloc, evaluated
+
+
+def test_ablation_report(comparison):
+    params, restricted, full_alloc, evaluated = comparison
+    from repro.eval.reporting import format_table
+
+    print()
+    print(format_table(
+        ["variant", "throughput (x)"],
+        [
+            ("Eq. 9 candidates", restricted.allocation.total_throughput() / params.lam),
+            ("full search", full_alloc.total_throughput() / params.lam),
+        ],
+    ))
+    print(f"extra candidates evaluated by full search: {evaluated}")
+
+
+def test_restriction_loses_little_quality(comparison):
+    params, restricted, full_alloc, _ = comparison
+    restricted_thpt = restricted.allocation.total_throughput()
+    full_thpt = full_alloc.total_throughput()
+    assert restricted_thpt >= full_thpt * 0.97
+
+
+def test_restriction_searches_far_less(comparison, workload):
+    """With Eq. 9, per-node candidates ~ node's community degree << k."""
+    params, restricted, _, full_evaluated = comparison
+    nodes = workload.graph.num_nodes
+    # Full search evaluates (k-1) per node per sweep.
+    assert full_evaluated >= nodes * (params.k - 1)
+
+
+def test_bench_restricted_sweep(workload, benchmark):
+    params = TxAlloParams.with_capacity_for(workload.num_transactions, k=20, eta=2.0)
+    benchmark.pedantic(
+        g_txallo, args=(workload.graph, params), rounds=1, iterations=1
+    )

@@ -1,0 +1,70 @@
+"""Ablation — G-TxAllo initialisation: Louvain vs. hash vs. single-blob.
+
+DESIGN.md §5.  The paper motivates Louvain initialisation as both a
+quality and a speed device; this ablation quantifies it: starting the
+optimisation phase from a hash partition (or from everything-in-one-shard)
+must not beat the Louvain start on throughput, and typically needs more
+sweeps.
+"""
+
+import pytest
+
+from repro.baselines.hash_allocation import hash_partition
+from repro.core.gtxallo import g_txallo
+from repro.core.params import TxAlloParams
+
+
+@pytest.fixture(scope="module")
+def setups(workload):
+    params = TxAlloParams.with_capacity_for(workload.num_transactions, k=20, eta=2.0)
+    louvain_run = g_txallo(workload.graph, params)
+    hash_init = hash_partition(workload.graph.nodes_sorted(), 20)
+    hash_run = g_txallo(workload.graph, params, initial_partition=hash_init)
+    blob_init = {v: 0 for v in workload.graph.nodes()}
+    blob_run = g_txallo(workload.graph, params, initial_partition=blob_init)
+    return params, louvain_run, hash_run, blob_run
+
+
+def test_ablation_report(setups):
+    params, louvain_run, hash_run, blob_run = setups
+    from repro.eval.reporting import format_table
+
+    rows = []
+    for name, run in [
+        ("Louvain init", louvain_run),
+        ("hash init", hash_run),
+        ("single-blob init", blob_run),
+    ]:
+        rows.append(
+            (
+                name,
+                run.allocation.total_throughput() / params.lam,
+                run.sweeps,
+                run.moves,
+                run.total_seconds,
+            )
+        )
+    print()
+    print(format_table(
+        ["initialisation", "throughput (x)", "sweeps", "moves", "seconds"], rows
+    ))
+
+
+def test_louvain_init_not_worse(setups):
+    params, louvain_run, hash_run, blob_run = setups
+    ours = louvain_run.allocation.total_throughput()
+    assert ours >= hash_run.allocation.total_throughput() * 0.98
+    assert ours >= blob_run.allocation.total_throughput() * 0.98
+
+
+def test_hash_init_needs_more_moves(setups):
+    _, louvain_run, hash_run, _ = setups
+    assert hash_run.moves > louvain_run.moves
+
+
+def test_bench_louvain_initialisation(workload, benchmark):
+    from repro.core.louvain import louvain_partition
+
+    benchmark.pedantic(
+        louvain_partition, args=(workload.graph,), rounds=2, iterations=1
+    )

@@ -1,0 +1,60 @@
+"""Figure 10 — per-step running time: pure G-TxAllo vs. the hybrid policy.
+
+Paper: A-TxAllo takes ~0.55 s per hourly step vs. ~122 s for G-TxAllo —
+roughly 200x per step, making the allocation latency ~4 % of the block
+interval.  At benchmark scale the absolute numbers shrink; the large
+multiplicative gap must remain.
+"""
+
+import pytest
+
+from repro.eval import experiments
+
+
+@pytest.fixture(scope="module")
+def fig10(workload):
+    return experiments.figure10(
+        workload, k=20, eta=2.0, global_gap=5, max_steps=15
+    )
+
+
+def test_fig10_report(fig10):
+    print()
+    print(fig10.render())
+
+
+def test_adaptive_steps_much_faster(fig10):
+    pure_mean = sum(s.runtime_seconds for s in fig10.pure.steps) / len(
+        fig10.pure.steps
+    )
+    adaptive_mean = fig10.hybrid.mean_adaptive_runtime
+    assert adaptive_mean < pure_mean / 5, (
+        f"adaptive {adaptive_mean:.4f}s should be >>5x faster than "
+        f"global {pure_mean:.4f}s (paper: ~200x)"
+    )
+
+
+def test_hybrid_global_steps_cost_like_pure(fig10):
+    hybrid_globals = [
+        s.runtime_seconds for s in fig10.hybrid.steps if s.kind == "global"
+    ]
+    pure_mean = sum(s.runtime_seconds for s in fig10.pure.steps) / len(
+        fig10.pure.steps
+    )
+    assert hybrid_globals, "the hybrid policy must have run G-TxAllo"
+    for g in hybrid_globals:
+        assert g > fig10.hybrid.mean_adaptive_runtime
+
+
+def test_every_step_recorded(fig10):
+    assert len(fig10.pure.steps) == len(fig10.hybrid.steps) == 15
+
+
+def test_bench_hybrid_replay(workload, benchmark):
+    benchmark.pedantic(
+        experiments.figure10,
+        args=(workload,),
+        kwargs={"k": 10, "eta": 2.0, "global_gap": 5, "max_steps": 5},
+        rounds=1,
+        iterations=1,
+    )

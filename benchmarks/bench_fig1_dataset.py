@@ -1,0 +1,28 @@
+"""Figure 1 + Section VI-A — dataset structure.
+
+Paper: 91,857,819 transactions over 12,614,390 accounts; the most active
+account appears in ~11 % of transactions; activity is long-tailed.
+Here: the synthetic workload's dataset card must show the same facts at
+the benchmark scale.
+"""
+
+from repro.eval import experiments
+
+
+def test_fig1_dataset_card(workload, benchmark):
+    report = benchmark(experiments.figure1, workload)
+    print()
+    print(report.render())
+    card = report.card
+    # Paper facts, as shapes:
+    assert 0.08 <= card.top_account_share <= 0.16, "hub should carry ~11%"
+    assert card.self_loop_ratio > 0.0, "self-loop transactions exist"
+    assert card.multi_io_ratio > 0.0, "multi-input/output transactions exist"
+
+
+def test_fig1_long_tail(workload):
+    hist = workload.graph.degree_histogram()
+    low_degree = sum(count for bound, count in hist if bound <= 4)
+    assert low_degree > 0.5 * workload.graph.num_nodes, (
+        "most accounts should have very few transaction partners"
+    )

@@ -1,0 +1,57 @@
+"""Figure 2 — cross-shard transaction ratio vs. number of shards.
+
+Paper (k=60): hash-based random ~98 %, METIS ~28 %, TxAllo ~12 %.
+Shapes asserted here: TxAllo lowest at every (k, eta); random approaches 1;
+METIS between; TxAllo's ratio self-adjusts (does not grow) with eta.
+"""
+
+import pytest
+
+from repro.core.gtxallo import g_txallo
+from repro.core.params import TxAlloParams
+from repro.eval import experiments
+
+
+@pytest.fixture(scope="module")
+def fig2(sweep_records):
+    return experiments.figure2(sweep_records)
+
+
+def test_fig2_report(fig2):
+    print()
+    print(fig2.render())
+
+
+@pytest.mark.parametrize("eta", [2.0, 6.0, 10.0])
+def test_txallo_always_lowest(fig2, eta):
+    for k in (10, 20, 40, 60):
+        ours = fig2.value(eta, "txallo", k)
+        assert ours < fig2.value(eta, "random", k)
+        assert ours < fig2.value(eta, "metis", k)
+        assert ours < fig2.value(eta, "shard_scheduler", k)
+
+
+def test_random_near_one_at_scale(fig2):
+    assert fig2.value(2.0, "random", 60) > 0.9  # paper: 98%
+
+
+def test_txallo_stays_low_at_60_shards(fig2):
+    assert fig2.value(2.0, "txallo", 60) < 0.3  # paper: ~12%
+
+
+def test_metis_between_txallo_and_random(fig2):
+    metis = fig2.value(2.0, "metis", 60)
+    assert fig2.value(2.0, "txallo", 60) < metis < fig2.value(2.0, "random", 60)
+
+
+def test_eta_self_adjustment(fig2):
+    """Section VI-B2: larger eta must not inflate TxAllo's ratio."""
+    assert fig2.value(10.0, "txallo", 60) <= fig2.value(2.0, "txallo", 60) + 0.05
+
+
+def test_bench_gtxallo_k60(workload, benchmark):
+    """pytest-benchmark target: one full G-TxAllo run at k=60, eta=2."""
+    params = TxAlloParams.with_capacity_for(workload.num_transactions, k=60, eta=2.0)
+    benchmark.pedantic(
+        g_txallo, args=(workload.graph, params), rounds=1, iterations=1
+    )

@@ -1,0 +1,58 @@
+"""Figure 3 — workload balance (rho) vs. number of shards.
+
+Paper: Shard Scheduler best (transaction-level smearing); TxAllo better
+than the graph-based baselines once eta grows; Random worst at large eta
+(the hub's cross-shard traffic costs eta per involved shard).
+"""
+
+import pytest
+
+from repro.eval import experiments
+
+
+@pytest.fixture(scope="module")
+def fig3(sweep_records):
+    return experiments.figure3(sweep_records)
+
+
+def test_fig3_report(fig3):
+    print()
+    print(fig3.render())
+
+
+@pytest.mark.parametrize("eta", [2.0, 6.0, 10.0])
+def test_shard_scheduler_best_balance(fig3, eta):
+    for k in (10, 20, 40, 60):
+        sched = fig3.value(eta, "shard_scheduler", k)
+        assert sched <= fig3.value(eta, "txallo", k)
+        assert sched <= fig3.value(eta, "random", k)
+        assert sched <= fig3.value(eta, "metis", k)
+
+
+@pytest.mark.parametrize("k", [20, 40, 60])
+def test_txallo_beats_random_at_high_eta(fig3, k):
+    assert fig3.value(10.0, "txallo", k) < fig3.value(10.0, "random", k)
+
+
+def test_txallo_beats_metis_at_high_eta(fig3):
+    assert fig3.value(10.0, "txallo", 60) < fig3.value(10.0, "metis", 60)
+
+
+def test_balance_degrades_with_eta_for_random(fig3):
+    """Random's hub shard pays eta per cross tx; rho grows with eta."""
+    assert fig3.value(10.0, "random", 60) > fig3.value(2.0, "random", 60)
+
+
+def test_bench_balance_metric(workload, benchmark):
+    from repro.core.metrics import evaluate_allocation, workload_balance
+    from repro.baselines.hash_allocation import hash_partition
+    from repro.core.params import TxAlloParams
+
+    params = TxAlloParams.with_capacity_for(workload.num_transactions, k=20, eta=2.0)
+    mapping = hash_partition(workload.graph.nodes_sorted(), 20)
+
+    def run():
+        report = evaluate_allocation(workload.account_sets, mapping, params)
+        return workload_balance(report.shard_workloads, params.lam)
+
+    benchmark(run)

@@ -1,0 +1,59 @@
+"""Figure 4 — per-shard workload distribution case study (k=20, eta=2).
+
+Paper: the most active account's shard visibly overloads Random, METIS and
+TxAllo (Figs. 4a/4b/4d); Shard Scheduler smears it (Fig. 4c); METIS leaves
+some shards under the capacity line; TxAllo keeps the bulk of shards at
+~1.0 with a bounded hub shard.
+"""
+
+import pytest
+
+from repro.eval import experiments
+
+
+@pytest.fixture(scope="module")
+def fig4(workload):
+    return experiments.figure4(workload, k=20, eta=2.0)
+
+
+def test_fig4_report(fig4):
+    print()
+    print(fig4.render())
+
+
+def hub_peak(dist):
+    return max(dist)
+
+
+def test_hub_shard_stands_out_for_graph_methods(fig4):
+    for method in ("Random", "Metis", "Our Method"):
+        dist = fig4.distributions[method]
+        ordered = sorted(dist, reverse=True)
+        assert ordered[0] > 1.8 * ordered[len(ordered) // 2], (
+            f"{method}: the hub shard should dominate the median shard"
+        )
+
+
+def test_shard_scheduler_flat(fig4):
+    dist = fig4.distributions["Shard Scheduler"]
+    assert max(dist) - min(dist) < 0.3
+
+
+def test_txallo_bulk_near_capacity(fig4):
+    dist = sorted(fig4.distributions["Our Method"], reverse=True)
+    bulk = dist[len(dist) // 4:]
+    for value in bulk:
+        assert 0.5 <= value <= 2.0
+
+
+def test_random_total_workload_highest(fig4):
+    """Random has the most cross-shard txs, hence the most total work."""
+    total = {m: sum(d) for m, d in fig4.distributions.items()}
+    assert total["Random"] == max(total.values())
+
+
+def test_bench_figure4(workload, benchmark):
+    benchmark.pedantic(
+        experiments.figure4, args=(workload,), kwargs={"k": 20, "eta": 2.0},
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,69 @@
+"""Figure 5 — normalised system throughput vs. number of shards.
+
+Paper: throughput grows ~linearly with k for every method; TxAllo grows
+fastest (34.7x at k=60, eta=2 vs. METIS 31.6x — about a 10 % edge);
+throughput of every method decreases as eta grows; TxAllo is the most
+stable in eta.
+"""
+
+import pytest
+
+from repro.eval import experiments
+
+
+@pytest.fixture(scope="module")
+def fig5(sweep_records):
+    return experiments.figure5(sweep_records)
+
+
+def test_fig5_report(fig5):
+    print()
+    print(fig5.render())
+
+
+@pytest.mark.parametrize("eta", [2.0, 6.0, 10.0])
+def test_txallo_highest_throughput(fig5, eta):
+    for k in (20, 40, 60):
+        ours = fig5.value(eta, "txallo", k)
+        assert ours > fig5.value(eta, "random", k)
+        assert ours >= fig5.value(eta, "metis", k) * 0.95
+        assert ours >= fig5.value(eta, "shard_scheduler", k) * 0.95
+
+
+def test_throughput_grows_with_k(fig5):
+    for method in ("txallo", "metis", "random"):
+        values = [fig5.value(2.0, method, k) for k in (2, 10, 20, 40, 60)]
+        assert values == sorted(values), f"{method} should scale with k"
+
+
+def test_txallo_roughly_linear_scaling(fig5):
+    """Paper: ~34.7x at k=60; we require at least half-linear scaling."""
+    assert fig5.value(2.0, "txallo", 60) > 25.0
+
+
+def test_txallo_edge_over_metis_about_ten_percent(fig5):
+    ours = fig5.value(2.0, "txallo", 60)
+    metis = fig5.value(2.0, "metis", 60)
+    assert ours >= metis, "TxAllo should not lose to METIS"
+    assert ours <= metis * 1.6, "the edge should be moderate (paper: ~10%)"
+
+
+def test_eta_degrades_everyone_but_txallo_least(fig5):
+    """Stability in eta is relative: TxAllo retains the largest fraction
+    of its eta=2 throughput when eta grows to 10 (paper: 'the most
+    stable as it achieves the lowest gamma')."""
+    retention = {}
+    for method in ("txallo", "random", "metis"):
+        retention[method] = fig5.value(10.0, method, 60) / fig5.value(2.0, method, 60)
+    assert retention["txallo"] >= retention["random"]
+    assert retention["txallo"] >= retention["metis"]
+
+
+def test_bench_throughput_evaluation(workload, benchmark):
+    from repro.core.metrics import evaluate_allocation
+    from repro.baselines.hash_allocation import hash_partition
+    from repro.core.params import TxAlloParams
+
+    params = TxAlloParams.with_capacity_for(workload.num_transactions, k=60, eta=2.0)
+    mapping = hash_partition(workload.graph.nodes_sorted(), 60)
+    benchmark(evaluate_allocation, workload.account_sets, mapping, params)

@@ -1,0 +1,51 @@
+"""Figure 6 — average confirmation latency vs. number of shards.
+
+Paper: TxAllo achieves the best average latency at every (k, eta); in most
+settings it stays under two blocks; Random degrades sharply with eta.
+"""
+
+import pytest
+
+from repro.eval import experiments
+
+
+@pytest.fixture(scope="module")
+def fig6(sweep_records):
+    return experiments.figure6(sweep_records)
+
+
+def test_fig6_report(fig6):
+    print()
+    print(fig6.render())
+
+
+@pytest.mark.parametrize("eta", [2.0, 6.0, 10.0])
+def test_txallo_best_average_latency(fig6, eta):
+    for k in (10, 20, 40, 60):
+        ours = fig6.value(eta, "txallo", k)
+        assert ours <= fig6.value(eta, "random", k) + 1e-9
+        assert ours <= fig6.value(eta, "metis", k) + 0.25
+        assert ours <= fig6.value(eta, "shard_scheduler", k) + 0.25
+
+
+def test_txallo_under_two_blocks_at_low_eta(fig6):
+    for k in (10, 20, 40, 60):
+        assert fig6.value(2.0, "txallo", k) < 2.0
+
+
+def test_random_latency_grows_with_eta(fig6):
+    assert fig6.value(10.0, "random", 60) > fig6.value(2.0, "random", 60)
+
+
+def test_latency_floor_is_one_block(fig6):
+    for eta, panel in fig6.panels.items():
+        for pts in panel.values():
+            for _, latency in pts:
+                assert latency >= 1.0
+
+
+def test_bench_latency_formula(benchmark):
+    from repro.core.metrics import average_latency
+
+    sigmas = [float(i % 37) * 13.7 for i in range(600)]
+    benchmark(average_latency, sigmas, 100.0)

@@ -1,0 +1,60 @@
+"""Figure 7 — worst-case latency (most overloaded shard) vs. shards.
+
+Paper: Shard Scheduler best (no overloaded shard at all); TxAllo second;
+Random and METIS suffer badly at large eta because the hub shard's
+workload scales with eta (up to ~80 blocks in the paper).
+"""
+
+import pytest
+
+from repro.eval import experiments
+
+
+@pytest.fixture(scope="module")
+def fig7(sweep_records):
+    return experiments.figure7(sweep_records)
+
+
+def test_fig7_report(fig7):
+    print()
+    print(fig7.render())
+
+
+@pytest.mark.parametrize("eta", [2.0, 6.0, 10.0])
+def test_shard_scheduler_best_worst_case(fig7, eta):
+    for k in (20, 40, 60):
+        sched = fig7.value(eta, "shard_scheduler", k)
+        assert sched <= fig7.value(eta, "txallo", k)
+        assert sched <= fig7.value(eta, "random", k)
+        assert sched <= fig7.value(eta, "metis", k)
+
+
+@pytest.mark.parametrize("k", [40, 60])
+def test_txallo_second_best_at_high_eta(fig7, k):
+    """At large k the hub's eta-priced cross traffic dominates the
+    baselines' worst shard; TxAllo (hub traffic intra) stays below both.
+    At small k the curves touch (the hub community concentrates), so the
+    claim is asserted for the k >= 40 regime."""
+    ours = fig7.value(10.0, "txallo", k)
+    assert ours <= fig7.value(10.0, "random", k)
+    assert ours <= fig7.value(10.0, "metis", k)
+
+
+def test_random_worst_case_explodes_with_eta(fig7):
+    """Paper Fig. 7e: up to ~80 blocks for the baselines at eta=10."""
+    assert fig7.value(10.0, "random", 60) > 3 * fig7.value(2.0, "random", 60)
+
+
+def test_bench_worst_case_metric(workload, benchmark):
+    from repro.core.metrics import evaluate_allocation, worst_case_latency
+    from repro.baselines.hash_allocation import hash_partition
+    from repro.core.params import TxAlloParams
+
+    params = TxAlloParams.with_capacity_for(workload.num_transactions, k=20, eta=10.0)
+    mapping = hash_partition(workload.graph.nodes_sorted(), 20)
+
+    def run():
+        report = evaluate_allocation(workload.account_sets, mapping, params)
+        return worst_case_latency(report.shard_workloads, params.lam)
+
+    benchmark(run)

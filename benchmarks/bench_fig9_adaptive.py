@@ -1,0 +1,84 @@
+"""Figure 9 — A-TxAllo throughput evolution under various global gaps.
+
+Paper: with hourly adaptive updates (τ₁ = 300 blocks) and global refreshes
+every 20-200 steps, the average throughput differences between gaps are
+insignificant — even a 9-day global gap loses little; workload pattern
+fluctuation dominates.
+"""
+
+import pytest
+
+from repro.eval import experiments
+
+
+@pytest.fixture(scope="module")
+def fig9(workload):
+    return experiments.figure9(
+        workload, k=20, eta=2.0, gaps=(5, 10, 20), max_steps=20
+    )
+
+
+def test_fig9_report(fig9):
+    print()
+    print(fig9.render())
+
+
+def test_all_policies_ran_all_steps(fig9):
+    lengths = {len(run.steps) for run in fig9.runs.values()}
+    assert len(lengths) == 1
+
+
+def test_adaptive_close_to_global_average(fig9):
+    """Paper Fig. 9b: no significant average-throughput difference."""
+    global_avg = fig9.runs["Global Method"].mean_throughput
+    for name, run in fig9.runs.items():
+        if name == "Global Method":
+            continue
+        assert run.mean_throughput >= 0.85 * global_avg, (
+            f"{name} lost more than 15% vs the global method"
+        )
+
+
+def test_larger_gap_does_not_collapse(fig9):
+    """Even the largest gap's worst step stays usable."""
+    largest = fig9.runs["Gap=20"]
+    global_best = max(s.throughput_x for s in fig9.runs["Global Method"].steps)
+    worst = min(s.throughput_x for s in largest.steps)
+    assert worst >= 0.5 * global_best
+
+
+def test_global_steps_marked(fig9):
+    run = fig9.runs["Gap=5"]
+    kinds = [s.kind for s in run.steps]
+    assert kinds[4] == "global" and kinds[0] == "adaptive"
+
+
+def test_bench_one_adaptive_step(workload, benchmark):
+    """pytest-benchmark target: a single A-TxAllo window update."""
+    from repro.core.allocation import Allocation
+    from repro.core.atxallo import a_txallo
+    from repro.core.gtxallo import g_txallo
+    from repro.core.params import TxAlloParams
+
+    train, evaluation = workload.blocks.split(0.9)
+    params = TxAlloParams.with_capacity_for(train.num_transactions, k=20, eta=2.0)
+    from repro.core.graph import TransactionGraph
+
+    graph = TransactionGraph()
+    for s in train.account_sets():
+        graph.add_transaction(s)
+    base = g_txallo(graph, params).allocation.mapping()
+    window = list(evaluation.windows(max(1, len(evaluation))))[0]
+    window_sets = window.account_sets()
+
+    def one_step():
+        g = graph.copy()
+        alloc = Allocation.from_partition(g, params, base)
+        touched = set()
+        for s in window_sets:
+            g.add_transaction(s)
+            alloc.ingest_transaction(s)
+            touched.update(s)
+        return a_txallo(alloc, touched)
+
+    benchmark.pedantic(one_step, rounds=2, iterations=1)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+One session-scoped workload is shared by every figure benchmark.  The
+scale is chosen so the whole suite finishes in a few minutes while every
+comparative shape of the paper still holds; crank ``BENCH_SCALE`` up via
+the environment to stress the allocators.
+
+Each ``bench_fig*.py`` file does two things:
+
+* prints the regenerated figure (tables + ASCII charts) so the run's
+  stdout is the reproduction artefact; and
+* registers a pytest-benchmark measurement of the figure's core
+  computation, plus shape assertions tying the output to the paper's
+  qualitative claims.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval import experiments
+
+BENCH_SCALE = float(os.environ.get("BENCH_SCALE", "0.5"))
+BENCH_KS = (2, 10, 20, 40, 60)
+BENCH_ETAS = (2.0, 6.0, 10.0)
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return experiments.build_workload(scale=BENCH_SCALE, seed=2022)
+
+
+@pytest.fixture(scope="session")
+def sweep_records(workload):
+    """The shared (method x k x eta) grid behind Figs. 2,3,5,6,7,8."""
+    return experiments.sweep(workload, ks=BENCH_KS, etas=BENCH_ETAS)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: allocate accounts to shards with TxAllo in ~40 lines.
+
+Builds a transaction graph from a handful of transfers, runs G-TxAllo,
+and prints the resulting account-shard mapping plus the Section III-B
+metrics.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import TransactionGraph, TxAlloParams, evaluate_allocation, g_txallo
+
+
+def main() -> None:
+    # Each transaction is just the set of accounts it touches.
+    transactions = [
+        ("alice", "bob"), ("bob", "carol"), ("alice", "carol"),     # one cluster
+        ("dave", "erin"), ("erin", "frank"), ("dave", "frank"),     # another
+        ("carol", "dave"),                                          # a bridge
+        ("alice", "alice"),                                         # a self-loop
+        ("bob", "carol", "alice"),                                  # multi-output
+    ]
+
+    graph = TransactionGraph()
+    graph.add_transactions(transactions)
+
+    # Paper conventions: capacity lambda = |T| / k, epsilon = 1e-5 |T|.
+    params = TxAlloParams.with_capacity_for(
+        num_transactions=graph.num_transactions, k=2, eta=2.0
+    )
+
+    result = g_txallo(graph, params)
+    mapping = result.allocation.mapping()
+
+    print("account -> shard")
+    for account in sorted(mapping):
+        print(f"  {account:>6} -> {mapping[account]}")
+
+    report = evaluate_allocation(transactions, mapping, params)
+    print()
+    print(f"cross-shard ratio : {report.cross_shard_ratio:.1%}")
+    print(f"workload balance  : {report.workload_balance:.3f}")
+    print(f"throughput        : {report.normalized_throughput:.2f}x a single shard")
+    print(f"avg latency       : {report.average_latency:.2f} blocks")
+
+    # The two triangles should land in different shards; the bridge edge
+    # is the only cross-shard traffic.
+    cluster_a = {mapping[a] for a in ("alice", "bob", "carol")}
+    cluster_b = {mapping[a] for a in ("dave", "erin", "frank")}
+    assert len(cluster_a) == 1 and len(cluster_b) == 1 and cluster_a != cluster_b
+    print("\nTxAllo recovered the two account clusters. ✔")
+
+
+if __name__ == "__main__":
+    main()

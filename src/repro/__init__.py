@@ -1,0 +1,49 @@
+"""repro — a reproduction of TxAllo (ICDE 2023).
+
+Dynamic transaction allocation for sharded account-based blockchains:
+the transaction-graph formulation, the G-TxAllo / A-TxAllo algorithms,
+the paper's baselines (hash, METIS-style multilevel partitioning, Shard
+Scheduler), a sharded-chain simulator substrate, a synthetic Ethereum
+workload generator, and the full evaluation harness for Figures 1-10.
+
+Quickstart::
+
+    from repro import TransactionGraph, TxAlloParams, g_txallo
+
+    graph = TransactionGraph()
+    graph.add_transactions([("a", "b"), ("b", "c"), ("d", "e")])
+    params = TxAlloParams.with_capacity_for(graph.num_transactions, k=2)
+    result = g_txallo(graph, params)
+    print(result.allocation.mapping())
+"""
+
+from repro.core import (
+    Allocation,
+    ATxAlloResult,
+    GTxAlloResult,
+    MetricsReport,
+    TransactionGraph,
+    TxAlloController,
+    TxAlloParams,
+    a_txallo,
+    evaluate_allocation,
+    g_txallo,
+    louvain_partition,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "ATxAlloResult",
+    "GTxAlloResult",
+    "MetricsReport",
+    "TransactionGraph",
+    "TxAlloController",
+    "TxAlloParams",
+    "a_txallo",
+    "evaluate_allocation",
+    "g_txallo",
+    "louvain_partition",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Baseline allocators the paper compares TxAllo against (Section VI-B).
+
+* :mod:`repro.baselines.hash_allocation` — hash-based random allocation
+  (Chainspace / Monoxide style), the incumbent in deployed protocols;
+* :mod:`repro.baselines.metis` — a from-scratch METIS-style multilevel
+  partitioner, the backbone of the graph-based prior works
+  (Fynn et al., Mizrahi & Rottenstreich, BrokerChain);
+* :mod:`repro.baselines.shard_scheduler` — the transaction-level online
+  allocator of Krol et al. (AFT'21).
+"""
+
+from repro.baselines.hash_allocation import (
+    account_digest,
+    hash_partition,
+    hash_shard,
+    prefix_partition,
+    prefix_shard,
+)
+from repro.baselines.metis import MetisResult, metis_partition
+from repro.baselines.shard_scheduler import (
+    SchedulerResult,
+    ShardScheduler,
+    shard_scheduler_partition,
+)
+
+__all__ = [
+    "MetisResult",
+    "SchedulerResult",
+    "ShardScheduler",
+    "account_digest",
+    "hash_partition",
+    "hash_shard",
+    "metis_partition",
+    "prefix_partition",
+    "prefix_shard",
+    "shard_scheduler_partition",
+]

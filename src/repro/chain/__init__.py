@@ -1,0 +1,63 @@
+"""Sharded-blockchain substrate: chain primitives, shards and the simulator."""
+
+from repro.chain.consensus import (
+    ConsensusCost,
+    consensus_cost,
+    hotstuff_cost,
+    max_faulty,
+    pbft_cost,
+    quorum_size,
+)
+from repro.chain.crossshard import CommitOutcome, CrossShardCoordinator, estimate_eta
+from repro.chain.ledger import Ledger
+from repro.chain.live import LiveReport, LiveShardedNetwork, TickStats
+from repro.chain.mempool import Mempool
+from repro.chain.migration import (
+    DEFAULT_ACCOUNT_STATE_BYTES,
+    AccountMove,
+    MigrationPlan,
+    migration_plan,
+)
+from repro.chain.network import NetworkModel
+from repro.chain.reshuffle import MinerPool
+from repro.chain.shard import ProcessedItem, ShardState, WorkItem
+from repro.chain.simulator import (
+    ShardedChainSimulator,
+    SimulationReport,
+    simulate_allocation,
+)
+from repro.chain.types import Address, Block, Transaction, address_from_int, is_address
+
+__all__ = [
+    "AccountMove",
+    "Address",
+    "DEFAULT_ACCOUNT_STATE_BYTES",
+    "MigrationPlan",
+    "migration_plan",
+    "Block",
+    "CommitOutcome",
+    "ConsensusCost",
+    "CrossShardCoordinator",
+    "Ledger",
+    "LiveReport",
+    "LiveShardedNetwork",
+    "Mempool",
+    "TickStats",
+    "MinerPool",
+    "NetworkModel",
+    "ProcessedItem",
+    "ShardState",
+    "ShardedChainSimulator",
+    "SimulationReport",
+    "Transaction",
+    "WorkItem",
+    "address_from_int",
+    "consensus_cost",
+    "estimate_eta",
+    "hotstuff_cost",
+    "is_address",
+    "max_faulty",
+    "pbft_cost",
+    "quorum_size",
+    "simulate_allocation",
+]

@@ -1,0 +1,72 @@
+"""Consensus cost models (paper Section IV-A).
+
+TxAllo's determinism requirement exists to *avoid* running consensus on
+allocation proposals; the paper quantifies what that avoidance saves:
+
+* streamlined protocols (HotStuff): at least **6 communication steps** with
+  overall **O(N)** message complexity;
+* classic BFT (PBFT): **3 steps** with **O(N²)** messages.
+
+These models let the simulator (and the protocol-integration example) price
+an intra-shard consensus round and, by extension, a cross-shard commit.
+They are cost models, not protocol implementations — no faults are
+simulated beyond the quorum arithmetic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ParameterError
+
+
+@dataclasses.dataclass(frozen=True)
+class ConsensusCost:
+    """Cost of one consensus decision in a shard of ``n`` miners."""
+
+    steps: int
+    messages: int
+    latency_seconds: float
+
+
+def quorum_size(n: int) -> int:
+    """Byzantine quorum ``2f + 1`` for ``n = 3f + 1`` miners (rounded up)."""
+    if n < 1:
+        raise ParameterError(f"a shard needs at least one miner, got {n}")
+    f = (n - 1) // 3
+    return 2 * f + 1
+
+
+def max_faulty(n: int) -> int:
+    """The number of Byzantine miners ``f`` tolerated by ``n`` miners."""
+    if n < 1:
+        raise ParameterError(f"a shard needs at least one miner, got {n}")
+    return (n - 1) // 3
+
+
+def pbft_cost(n: int, message_delay: float = 0.05) -> ConsensusCost:
+    """Classic PBFT: 3 steps (pre-prepare, prepare, commit), O(N²) messages."""
+    if message_delay < 0:
+        raise ParameterError(f"message_delay must be non-negative, got {message_delay!r}")
+    steps = 3
+    messages = n + 2 * n * n  # pre-prepare broadcast + two all-to-all rounds
+    return ConsensusCost(steps=steps, messages=messages, latency_seconds=steps * message_delay)
+
+
+def hotstuff_cost(n: int, message_delay: float = 0.05) -> ConsensusCost:
+    """Streamlined HotStuff: 6 steps, O(N) messages per step (leader relay)."""
+    if message_delay < 0:
+        raise ParameterError(f"message_delay must be non-negative, got {message_delay!r}")
+    steps = 6
+    messages = 6 * n
+    return ConsensusCost(steps=steps, messages=messages, latency_seconds=steps * message_delay)
+
+
+def consensus_cost(protocol: str, n: int, message_delay: float = 0.05) -> ConsensusCost:
+    """Dispatch by protocol name (``"pbft"`` or ``"hotstuff"``)."""
+    normalized = protocol.lower()
+    if normalized == "pbft":
+        return pbft_cost(n, message_delay)
+    if normalized == "hotstuff":
+        return hotstuff_cost(n, message_delay)
+    raise ParameterError(f"unknown consensus protocol {protocol!r}")

@@ -1,0 +1,114 @@
+"""An append-only ledger of blocks (``L`` in the paper's notation).
+
+The ledger enforces the chain invariants — contiguous heights, matching
+parent hashes — and provides the iteration windows the allocation pipeline
+needs: *all* transactions for G-TxAllo, and height ranges for A-TxAllo's
+``τ``-block updates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set
+
+from repro.chain.types import Address, Block, Transaction
+from repro.errors import LedgerError
+
+
+class Ledger:
+    """Totally ordered sequence of blocks with integrity checks."""
+
+    def __init__(self, genesis_height: int = 0) -> None:
+        self._blocks: List[Block] = []
+        self._genesis_height = genesis_height
+        self._accounts: Set[Address] = set()
+        self._num_transactions = 0
+
+    # ------------------------------------------------------------------
+    def append(self, block: Block) -> None:
+        """Append a block; verifies height continuity and parent linkage."""
+        expected = self.next_height
+        if block.height != expected:
+            raise LedgerError(
+                f"non-contiguous block: expected height {expected}, got {block.height}"
+            )
+        if self._blocks:
+            expected_parent = self._blocks[-1].block_hash
+            if block.parent_hash and block.parent_hash != expected_parent:
+                raise LedgerError(
+                    f"parent hash mismatch at height {block.height}: "
+                    f"{block.parent_hash[:12]}... != {expected_parent[:12]}..."
+                )
+        self._blocks.append(block)
+        self._num_transactions += len(block)
+        for tx in block:
+            self._accounts |= tx.accounts
+
+    def extend(self, blocks) -> None:
+        for block in blocks:
+            self.append(block)
+
+    # ------------------------------------------------------------------
+    @property
+    def genesis_height(self) -> int:
+        return self._genesis_height
+
+    @property
+    def next_height(self) -> int:
+        return self._genesis_height + len(self._blocks)
+
+    @property
+    def tip(self) -> Optional[Block]:
+        return self._blocks[-1] if self._blocks else None
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def num_transactions(self) -> int:
+        return self._num_transactions
+
+    @property
+    def num_accounts(self) -> int:
+        return len(self._accounts)
+
+    def accounts(self) -> Set[Address]:
+        """A snapshot of every account seen so far (the set ``A``)."""
+        return set(self._accounts)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def block_at(self, height: int) -> Block:
+        index = height - self._genesis_height
+        if not 0 <= index < len(self._blocks):
+            raise LedgerError(
+                f"height {height} outside ledger range "
+                f"[{self._genesis_height}, {self.next_height})"
+            )
+        return self._blocks[index]
+
+    def blocks_in(self, start_height: int, end_height: int) -> Iterator[Block]:
+        """Blocks with ``start_height <= height < end_height``."""
+        if start_height > end_height:
+            raise LedgerError(
+                f"invalid window [{start_height}, {end_height})"
+            )
+        lo = max(start_height, self._genesis_height)
+        hi = min(end_height, self.next_height)
+        for h in range(lo, hi):
+            yield self.block_at(h)
+
+    def transactions(self) -> Iterator[Transaction]:
+        """Every transaction, in chain order."""
+        for block in self._blocks:
+            yield from block
+
+    def transactions_in(self, start_height: int, end_height: int) -> Iterator[Transaction]:
+        """Transactions of the block window, in chain order."""
+        for block in self.blocks_in(start_height, end_height):
+            yield from block

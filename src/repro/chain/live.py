@@ -1,0 +1,209 @@
+"""A live, tick-driven sharded network with dynamic reallocation.
+
+:mod:`repro.chain.simulator` reproduces the paper's *analytic* setting:
+all workload present at t=0, drained at rate λ.  This module simulates
+the *deployed* setting instead: transactions arrive over time, each tick
+is one block interval, every shard processes up to λ workload per tick,
+and a :class:`~repro.core.controller.TxAlloController` (or any static
+mapping) decides where accounts live *as the system runs*.
+
+A cross-shard transaction completes only when **every** involved shard
+has processed its slice (the 2PC atomicity of Section II-B); its
+end-to-end latency is the maximum over shards.  New accounts appearing
+in live traffic are routed by the controller's current allocation, which
+A-TxAllo extends on its next scheduled run.
+
+This closes the loop the paper argues for qualitatively: with TxAllo
+steering allocation, the same network sustains a higher committed TPS
+than with hash allocation — ``tests/test_live.py`` asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.chain.shard import ShardState
+from repro.chain.types import Transaction
+from repro.core.controller import TxAlloController
+from repro.core.params import TxAlloParams
+from repro.errors import SimulationError
+
+
+@dataclasses.dataclass(frozen=True)
+class TickStats:
+    """What happened during one block interval."""
+
+    tick: int
+    arrived: int
+    committed: int
+    cross_shard_arrived: int
+    backlog_workload: float
+    allocation_update: Optional[str]  # "global" / "adaptive" / None
+
+
+@dataclasses.dataclass
+class LiveReport:
+    """Aggregates over a whole run."""
+
+    ticks: List[TickStats]
+    committed: int
+    arrived: int
+    mean_latency: float
+    p99_latency: int
+    cross_shard_ratio: float
+
+    @property
+    def committed_per_tick(self) -> float:
+        if not self.ticks:
+            return 0.0
+        return self.committed / len(self.ticks)
+
+
+class LiveShardedNetwork:
+    """Tick-driven network of ``k`` shards with pluggable allocation.
+
+    ``allocator`` is either a static ``dict`` account→shard (accounts
+    missing from it are routed to shard ``hash-free`` 0 — pass a complete
+    mapping for static runs) or a :class:`TxAlloController`, whose
+    allocation is consulted live and which observes every block of
+    arriving transactions.
+    """
+
+    def __init__(
+        self,
+        params: TxAlloParams,
+        allocator,
+    ) -> None:
+        self.params = params
+        self.allocator = allocator
+        self.shards: List[ShardState] = [
+            ShardState(i, params.lam) for i in range(params.k)
+        ]
+        self.now = 0
+        self._seq = 0  # unique arrival ids: identical transfers repeat in
+        self._pending_completions: Dict[str, int] = {}
+        self._tx_enqueued_at: Dict[str, int] = {}
+        self._latencies: List[int] = []
+        self._committed = 0
+        self._arrived = 0
+        self._cross_arrived = 0
+        self.ticks: List[TickStats] = []
+
+    # ------------------------------------------------------------------
+    def _shard_of(self, account: str) -> int:
+        if isinstance(self.allocator, TxAlloController):
+            shard = self.allocator.allocation.shard_of_or_none(account)
+            if shard is not None:
+                return shard
+            # Account not yet allocated (arrived this tick, A-TxAllo has
+            # not run): fall back deterministically until it is.
+            return 0
+        try:
+            return self.allocator[account]
+        except KeyError:
+            return 0
+
+    def _route(self, tx: Transaction) -> None:
+        involved = sorted({self._shard_of(a) for a in tx.accounts})
+        m = len(involved)
+        self._arrived += 1
+        if m > 1:
+            self._cross_arrived += 1
+        cost = 1.0 if m == 1 else self.params.eta
+        share = 1.0 / m
+        # Identical transfers share a content-derived tx_id; completion
+        # tracking needs a unique id per *arrival*, so re-stamp.
+        unique = Transaction(
+            inputs=tx.inputs, outputs=tx.outputs, tx_id=f"{tx.tx_id}#{self._seq}"
+        )
+        self._seq += 1
+        self._pending_completions[unique.tx_id] = m
+        self._tx_enqueued_at[unique.tx_id] = self.now
+        for shard in involved:
+            self.shards[shard].enqueue(unique, cost=cost, share=share, now=self.now)
+
+    # ------------------------------------------------------------------
+    def tick(self, incoming: Iterable[Transaction]) -> TickStats:
+        """One block interval: ingest arrivals, let every shard work."""
+        incoming = list(incoming)
+
+        # The controller learns about the block *and* may update the
+        # allocation; routing below uses the updated mapping (the paper
+        # applies a fresh mapping from the next block onward).
+        update = None
+        if isinstance(self.allocator, TxAlloController):
+            event = self.allocator.observe_block(
+                [tuple(tx.accounts) for tx in incoming]
+            )
+            update = event.kind if event is not None else None
+
+        for tx in incoming:
+            self._route(tx)
+
+        committed_now = 0
+        for shard in self.shards:
+            for done in shard.step(now=self.now):
+                tx_id = done.item.tx.tx_id
+                remaining = self._pending_completions.get(tx_id)
+                if remaining is None:
+                    raise SimulationError(f"completion for unknown tx {tx_id}")
+                if remaining == 1:
+                    del self._pending_completions[tx_id]
+                    latency = self.now - self._tx_enqueued_at.pop(tx_id) + 1
+                    self._latencies.append(latency)
+                    self._committed += 1
+                    committed_now += 1
+                else:
+                    self._pending_completions[tx_id] = remaining - 1
+
+        stats = TickStats(
+            tick=self.now,
+            arrived=len(incoming),
+            committed=committed_now,
+            cross_shard_arrived=sum(
+                1 for tx in incoming
+                if len({self._shard_of(a) for a in tx.accounts}) > 1
+            ),
+            backlog_workload=sum(s.backlog_workload for s in self.shards),
+            allocation_update=update,
+        )
+        self.ticks.append(stats)
+        self.now += 1
+        return stats
+
+    def run(
+        self,
+        blocks: Sequence[Sequence[Transaction]],
+        drain: bool = True,
+        max_drain_ticks: int = 100_000,
+    ) -> LiveReport:
+        """Feed blocks one per tick, optionally drain the backlog."""
+        for block in blocks:
+            self.tick(block)
+        if drain:
+            idle = 0
+            while self._pending_completions:
+                self.tick([])
+                idle += 1
+                if idle > max_drain_ticks:
+                    raise SimulationError(
+                        f"backlog failed to drain within {max_drain_ticks} ticks"
+                    )
+        return self.report()
+
+    # ------------------------------------------------------------------
+    def report(self) -> LiveReport:
+        latencies = sorted(self._latencies)
+        mean = sum(latencies) / len(latencies) if latencies else 0.0
+        p99 = latencies[int(0.99 * (len(latencies) - 1))] if latencies else 0
+        return LiveReport(
+            ticks=list(self.ticks),
+            committed=self._committed,
+            arrived=self._arrived,
+            mean_latency=mean,
+            p99_latency=p99,
+            cross_shard_ratio=(
+                self._cross_arrived / self._arrived if self._arrived else 0.0
+            ),
+        )

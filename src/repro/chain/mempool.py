@@ -1,0 +1,63 @@
+"""A chronological mempool.
+
+The paper's throughput model assumes every shard "processes transactions
+chronologically" — a shard may not improve its measured throughput by
+cherry-picking cheap intra-shard transactions (Section III-B).  The mempool
+therefore is strictly FIFO; the only policy knob is how much *workload*
+(not how many transactions) a drain may remove, matching the capacity
+model ``λ``.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, Iterable, List, Optional, Tuple
+
+from repro.chain.types import Transaction
+from repro.errors import SimulationError
+
+
+class Mempool:
+    """FIFO queue of (transaction, workload cost) entries."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[Tuple[Transaction, float]] = collections.deque()
+        self._pending_workload = 0.0
+
+    def add(self, tx: Transaction, cost: float = 1.0) -> None:
+        if cost <= 0:
+            raise SimulationError(f"workload cost must be positive, got {cost!r}")
+        self._queue.append((tx, cost))
+        self._pending_workload += cost
+
+    def add_all(self, txs: Iterable[Transaction], cost: float = 1.0) -> None:
+        for tx in txs:
+            self.add(tx, cost)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def pending_workload(self) -> float:
+        return self._pending_workload
+
+    def peek(self) -> Optional[Transaction]:
+        return self._queue[0][0] if self._queue else None
+
+    def drain(self, capacity: float) -> List[Tuple[Transaction, float]]:
+        """Remove transactions chronologically until ``capacity`` is spent.
+
+        A transaction is only removed if its *full* cost fits the remaining
+        capacity — work on a transaction is not split across drains, which
+        matches block-granularity processing.
+        """
+        if capacity < 0:
+            raise SimulationError(f"capacity must be non-negative, got {capacity!r}")
+        drained: List[Tuple[Transaction, float]] = []
+        remaining = capacity
+        while self._queue and self._queue[0][1] <= remaining + 1e-12:
+            tx, cost = self._queue.popleft()
+            drained.append((tx, cost))
+            remaining -= cost
+            self._pending_workload -= cost
+        return drained

@@ -1,0 +1,76 @@
+"""Epoch-based miner reshuffling (paper Section II-B).
+
+Permissionless sharding protocols periodically reassign miners to shards to
+prevent single-shard take-over attacks (Elastico's reconfiguration phase).
+Two consequences matter to TxAllo:
+
+* computing resources are *uniformly* distributed, justifying the equal
+  per-shard capacity ``λ`` (Section III-A);
+* the shuffle must be deterministic given public randomness, or the shards
+  would need yet another consensus — we derive it from a seeded hash, so
+  every miner computes the same assignment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+from repro.errors import ParameterError
+
+
+class MinerPool:
+    """A set of miners reshuffled across ``k`` shards every epoch."""
+
+    def __init__(self, num_miners: int, k: int, seed: int = 0) -> None:
+        if num_miners < k:
+            raise ParameterError(
+                f"need at least one miner per shard: {num_miners} miners for {k} shards"
+            )
+        if k < 1:
+            raise ParameterError(f"number of shards must be positive, got {k!r}")
+        self.num_miners = num_miners
+        self.k = k
+        self.seed = seed
+        self.epoch = 0
+        self.assignment: Dict[int, int] = {}
+        self.reshuffle(epoch=0)
+
+    # ------------------------------------------------------------------
+    def _rank(self, miner: int, epoch: int) -> int:
+        data = f"{self.seed}:{epoch}:{miner}".encode()
+        return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+    def reshuffle(self, epoch: int) -> Dict[int, int]:
+        """Deterministically reassign miners for ``epoch``.
+
+        Miners are ordered by a seeded hash and dealt round-robin, so shard
+        sizes differ by at most one — the uniform-capacity assumption.
+        """
+        order = sorted(range(self.num_miners), key=lambda m: (self._rank(m, epoch), m))
+        self.assignment = {miner: i % self.k for i, miner in enumerate(order)}
+        self.epoch = epoch
+        return dict(self.assignment)
+
+    def shard_of(self, miner: int) -> int:
+        try:
+            return self.assignment[miner]
+        except KeyError:
+            raise ParameterError(f"unknown miner {miner!r}") from None
+
+    def members(self, shard: int) -> List[int]:
+        """Miners currently assigned to ``shard``, ascending."""
+        if not 0 <= shard < self.k:
+            raise ParameterError(f"shard {shard!r} out of range")
+        return sorted(m for m, s in self.assignment.items() if s == shard)
+
+    def shard_sizes(self) -> List[int]:
+        sizes = [0] * self.k
+        for shard in self.assignment.values():
+            sizes[shard] += 1
+        return sizes
+
+    def max_size_gap(self) -> int:
+        """Difference between the largest and smallest shard (<= 1)."""
+        sizes = self.shard_sizes()
+        return max(sizes) - min(sizes)

@@ -1,0 +1,121 @@
+"""Chain primitives of the blockchain model (paper Section III-A).
+
+The paper models a totally ordered account-based permissionless blockchain
+``L = {B_1, ..., B_n}`` where each block is a sequence of transactions and
+a transaction is the pair of its input and output account sets
+``Tx = (A_in, A_out)``.  These dataclasses make that model concrete enough
+for the simulator, the workload generator and the loaders, while staying
+lean: value, gas and scripts are irrelevant to allocation (Section III-A
+drops them explicitly), so we carry only what ``μ(Tx)`` needs plus minimal
+provenance (identifiers, heights, hashes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import FrozenSet, Iterator, Tuple
+
+from repro.errors import TransactionError
+
+#: Account addresses are lowercase hex strings (Ethereum style).
+Address = str
+
+
+def address_from_int(value: int) -> Address:
+    """Deterministic synthetic address: 20 bytes of the integer's digest.
+
+    Used by the workload generator so synthetic accounts look and hash
+    like real Ethereum addresses.
+    """
+    digest = hashlib.sha256(value.to_bytes(8, "big", signed=False)).digest()
+    return "0x" + digest[:20].hex()
+
+
+def is_address(value: object) -> bool:
+    """Loose structural check for an Ethereum-style address string."""
+    if not isinstance(value, str) or not value.startswith("0x"):
+        return False
+    body = value[2:]
+    if len(body) != 40:
+        return False
+    try:
+        int(body, 16)
+    except ValueError:
+        return False
+    return True
+
+
+@dataclasses.dataclass(frozen=True)
+class Transaction:
+    """``Tx = (A_in, A_out)`` with both sets non-empty (Section III-A)."""
+
+    inputs: Tuple[Address, ...]
+    outputs: Tuple[Address, ...]
+    tx_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise TransactionError("a transaction needs at least one input account")
+        if not self.outputs:
+            raise TransactionError("a transaction needs at least one output account")
+        if not self.tx_id:
+            digest = hashlib.sha256(
+                ("|".join(self.inputs) + "->" + "|".join(self.outputs)).encode()
+            ).hexdigest()
+            object.__setattr__(self, "tx_id", digest[:16])
+
+    @property
+    def accounts(self) -> FrozenSet[Address]:
+        """``A_Tx = A_in ∪ A_out`` — what allocation cares about."""
+        return frozenset(self.inputs) | frozenset(self.outputs)
+
+    @property
+    def is_self_loop(self) -> bool:
+        """True when all inputs and outputs collapse to one account.
+
+        E.g. an Ethereum self-send used to replace a pending transaction
+        (Section V-B's motivating example for self-loops).
+        """
+        return len(self.accounts) == 1
+
+    @classmethod
+    def transfer(cls, sender: Address, receiver: Address) -> "Transaction":
+        """The common case: one input, one output."""
+        return cls(inputs=(sender,), outputs=(receiver,))
+
+
+@dataclasses.dataclass(frozen=True)
+class Block:
+    """A block: height, parent link and an ordered transaction tuple."""
+
+    height: int
+    transactions: Tuple[Transaction, ...]
+    parent_hash: str = ""
+
+    def __post_init__(self) -> None:
+        if self.height < 0:
+            raise TransactionError(f"block height must be non-negative, got {self.height}")
+
+    @property
+    def block_hash(self) -> str:
+        """Deterministic content hash (header + tx ids)."""
+        hasher = hashlib.sha256()
+        hasher.update(str(self.height).encode())
+        hasher.update(self.parent_hash.encode())
+        for tx in self.transactions:
+            hasher.update(tx.tx_id.encode())
+        return hasher.hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self.transactions)
+
+    def account_set(self) -> FrozenSet[Address]:
+        """All accounts appearing in this block (the block's slice of V̂)."""
+        accounts: set = set()
+        for tx in self.transactions:
+            accounts |= tx.accounts
+        return frozenset(accounts)

@@ -1,0 +1,119 @@
+"""Command-line interface: regenerate any paper figure from a terminal.
+
+Examples::
+
+    txallo fig2 --scale 0.5 --ks 2,10,20 --etas 2,6
+    txallo fig4
+    txallo fig9 --k 20 --gaps 20,100
+    txallo all --scale 0.25
+
+Every command prints a table plus an ASCII chart; no plotting stack is
+required.  ``python -m repro`` is an alias for the ``txallo`` script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.eval import experiments
+
+_SWEEP_FIGURES = {
+    "fig2": experiments.figure2,
+    "fig3": experiments.figure3,
+    "fig5": experiments.figure5,
+    "fig6": experiments.figure6,
+    "fig7": experiments.figure7,
+    "fig8": experiments.figure8,
+}
+
+
+def _parse_int_list(text: str) -> List[int]:
+    return [int(chunk) for chunk in text.split(",") if chunk.strip()]
+
+
+def _parse_float_list(text: str) -> List[float]:
+    return [float(chunk) for chunk in text.split(",") if chunk.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="txallo",
+        description="Reproduce the TxAllo (ICDE 2023) evaluation figures.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(_SWEEP_FIGURES) + ["fig1", "fig4", "fig9", "fig10", "all"],
+        help="which figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.5,
+        help="workload scale factor (1.0 = ~60k transactions; default 0.5)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2022, help="workload seed (default 2022)"
+    )
+    parser.add_argument(
+        "--ks", type=_parse_int_list, default=None,
+        help="comma-separated shard counts (default 2,10,20,40,60)",
+    )
+    parser.add_argument(
+        "--etas", type=_parse_float_list, default=None,
+        help="comma-separated eta values (default 2,4,6,8,10)",
+    )
+    parser.add_argument(
+        "--k", type=int, default=20, help="shard count for fig4/fig9/fig10"
+    )
+    parser.add_argument(
+        "--eta", type=float, default=2.0, help="eta for fig4/fig9/fig10"
+    )
+    parser.add_argument(
+        "--gaps", type=_parse_int_list, default=[20, 40, 100, 200],
+        help="global updating gaps for fig9 (default 20,40,100,200)",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=0,
+        help="max adaptive steps for fig9/fig10 (0 = all windows)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    workload = experiments.build_workload(scale=args.scale, seed=args.seed)
+    ks = args.ks or list(experiments.DEFAULT_KS)
+    etas = args.etas or list(experiments.DEFAULT_ETAS)
+
+    wanted = sorted(_SWEEP_FIGURES) + ["fig1", "fig4", "fig9", "fig10"] \
+        if args.figure == "all" else [args.figure]
+
+    records = None
+    for figure in wanted:
+        if figure == "fig1":
+            print(experiments.figure1(workload).render())
+        elif figure == "fig4":
+            print(experiments.figure4(workload, k=args.k, eta=args.eta).render())
+        elif figure == "fig9":
+            print(
+                experiments.figure9(
+                    workload, k=args.k, eta=args.eta,
+                    gaps=args.gaps, max_steps=args.steps,
+                ).render()
+            )
+        elif figure == "fig10":
+            print(
+                experiments.figure10(
+                    workload, k=args.k, eta=args.eta, max_steps=args.steps
+                ).render()
+            )
+        else:
+            if records is None:
+                records = experiments.sweep(workload, ks=ks, etas=etas)
+            print(_SWEEP_FIGURES[figure](records).render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Core TxAllo machinery: transaction graph, metrics and the two algorithms."""
+
+from repro.core.allocation import Allocation, capped_throughput
+from repro.core.forecast import (
+    DecayingTransactionGraph,
+    forecast_error,
+    forecast_graph,
+)
+from repro.core.atxallo import ATxAlloResult, a_txallo
+from repro.core.controller import TxAlloController, UpdateEvent
+from repro.core.graph import Node, TransactionGraph, pair_count
+from repro.core.gtxallo import GTxAlloResult, g_txallo
+from repro.core.louvain import louvain_partition, modularity
+from repro.core.metrics import (
+    MetricsReport,
+    average_latency,
+    evaluate_allocation,
+    graph_cross_shard_ratio,
+    graph_shard_workloads,
+    graph_throughput,
+    is_cross_shard,
+    mu,
+    shard_latency,
+    workload_balance,
+    worst_case_latency,
+)
+from repro.core.objective import GainComputer
+from repro.core.persistence import (
+    AllocationCheckpoint,
+    allocation_digest,
+    load_allocation,
+    save_allocation,
+)
+from repro.core.workload_model import (
+    RoleAwareModel,
+    ShardRole,
+    UniformEta,
+    WorkloadModel,
+    effective_eta,
+    evaluate_with_model,
+    shard_roles,
+)
+from repro.core.params import TxAlloParams
+
+__all__ = [
+    "Allocation",
+    "AllocationCheckpoint",
+    "DecayingTransactionGraph",
+    "RoleAwareModel",
+    "ShardRole",
+    "UniformEta",
+    "WorkloadModel",
+    "allocation_digest",
+    "effective_eta",
+    "evaluate_with_model",
+    "forecast_error",
+    "forecast_graph",
+    "load_allocation",
+    "save_allocation",
+    "shard_roles",
+    "ATxAlloResult",
+    "GTxAlloResult",
+    "GainComputer",
+    "MetricsReport",
+    "Node",
+    "TransactionGraph",
+    "TxAlloController",
+    "TxAlloParams",
+    "UpdateEvent",
+    "a_txallo",
+    "average_latency",
+    "capped_throughput",
+    "evaluate_allocation",
+    "g_txallo",
+    "graph_cross_shard_ratio",
+    "graph_shard_workloads",
+    "graph_throughput",
+    "is_cross_shard",
+    "louvain_partition",
+    "modularity",
+    "mu",
+    "pair_count",
+    "shard_latency",
+    "workload_balance",
+    "worst_case_latency",
+]

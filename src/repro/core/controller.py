@@ -1,0 +1,150 @@
+"""The dynamic TxAllo controller — periodic A-TxAllo with G-TxAllo refreshes.
+
+The paper runs A-TxAllo every ``τ₁`` blocks and G-TxAllo every ``τ₂`` blocks
+(``τ₁ < τ₂``, Section V-A); the adaptive runs are cheap and keep the
+allocation fresh, while the periodic global runs bound the approximation
+loss (evaluated in Figs. 9-10).
+
+:class:`TxAlloController` implements exactly that loop over any source of
+blocks, where a *block* is simply an iterable of transactions and a
+transaction an iterable of account identifiers.  It owns the transaction
+graph, the current :class:`~repro.core.allocation.Allocation` and an update
+log with per-update wall-clock timings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.core.allocation import Allocation
+from repro.core.atxallo import a_txallo
+from repro.core.graph import Node, TransactionGraph
+from repro.core.gtxallo import g_txallo
+from repro.core.params import TxAlloParams
+
+
+@dataclasses.dataclass(frozen=True)
+class UpdateEvent:
+    """One allocation update: which algorithm ran, when, and how long."""
+
+    kind: str  # "global" or "adaptive"
+    block_height: int
+    seconds: float
+    moves: int
+    touched: int
+
+
+class TxAlloController:
+    """Drives TxAllo over a stream of blocks.
+
+    Typical use::
+
+        controller = TxAlloController(params, seed_transactions=history)
+        for block in chain:
+            controller.observe_block(block)
+        mapping = controller.allocation.mapping()
+
+    ``observe_block`` ingests the block's transactions, and — at the
+    configured periods — triggers the adaptive or global algorithm.  The
+    global algorithm takes precedence when both are due, and resets the
+    adaptive touched-set, exactly as a fresh global allocation subsumes any
+    pending adaptive work.
+    """
+
+    def __init__(
+        self,
+        params: TxAlloParams,
+        seed_transactions: Optional[Iterable[Sequence[Node]]] = None,
+        *,
+        adaptive_enabled: bool = True,
+        global_enabled: bool = True,
+    ) -> None:
+        self.params = params
+        self.graph = TransactionGraph()
+        self.block_height = 0
+        self.events: List[UpdateEvent] = []
+        self._touched: Set[Node] = set()
+        self._adaptive_enabled = adaptive_enabled
+        self._global_enabled = global_enabled
+        if seed_transactions is not None:
+            for accounts in seed_transactions:
+                self.graph.add_transaction(accounts)
+        result = g_txallo(self.graph, params)
+        self.allocation: Allocation = result.allocation
+        self.events.append(
+            UpdateEvent(
+                kind="global",
+                block_height=0,
+                seconds=result.total_seconds,
+                moves=result.moves,
+                touched=self.graph.num_nodes,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def observe_block(self, transactions: Iterable[Sequence[Node]]) -> Optional[UpdateEvent]:
+        """Ingest one block; run an update if one is due.
+
+        Returns the update event when an algorithm ran, else ``None``.
+        """
+        for accounts in transactions:
+            unique = set(accounts)
+            self.graph.add_transaction(unique)
+            self.allocation.ingest_transaction(unique)
+            self._touched.update(unique)
+        self.block_height += 1
+
+        if self._global_enabled and self.block_height % self.params.tau2 == 0:
+            return self._run_global()
+        if self._adaptive_enabled and self.block_height % self.params.tau1 == 0:
+            return self._run_adaptive()
+        return None
+
+    def force_global(self) -> UpdateEvent:
+        """Run G-TxAllo immediately, regardless of the schedule."""
+        return self._run_global()
+
+    def force_adaptive(self) -> UpdateEvent:
+        """Run A-TxAllo immediately on the accumulated touched set."""
+        return self._run_adaptive()
+
+    # ------------------------------------------------------------------
+    def _run_global(self) -> UpdateEvent:
+        t0 = time.perf_counter()
+        result = g_txallo(self.graph, self.params)
+        self.allocation = result.allocation
+        self._touched.clear()
+        event = UpdateEvent(
+            kind="global",
+            block_height=self.block_height,
+            seconds=time.perf_counter() - t0,
+            moves=result.moves,
+            touched=self.graph.num_nodes,
+        )
+        self.events.append(event)
+        return event
+
+    def _run_adaptive(self) -> UpdateEvent:
+        touched = self._touched
+        self._touched = set()
+        result = a_txallo(self.allocation, touched)
+        event = UpdateEvent(
+            kind="adaptive",
+            block_height=self.block_height,
+            seconds=result.seconds,
+            moves=result.moves,
+            touched=result.swept_nodes,
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    @property
+    def adaptive_events(self) -> List[UpdateEvent]:
+        return [e for e in self.events if e.kind == "adaptive"]
+
+    @property
+    def global_events(self) -> List[UpdateEvent]:
+        return [e for e in self.events if e.kind == "global"]

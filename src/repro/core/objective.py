@@ -1,0 +1,179 @@
+"""Throughput-gain computation — Eqs. (6)-(9) of the paper.
+
+Given an :class:`~repro.core.allocation.Allocation`, this module answers the
+one question both TxAllo sweeps ask per node: *which community should ``v``
+join, and what does the system throughput gain by the move?*
+
+All gains are computed in O(deg(v)) from a single neighbourhood scan,
+using the closed-form deltas of Section V-B:
+
+* join  (Eq. 6):  ``σ'_q = σ_q + w{v,v} + η(w{v,V/V_q} − w{v,v}) + (1−η) w{v,V_q}``
+  and ``Λ̂'_q = Λ̂_q + w{v,v} + w{v,V/v}/2``;
+* leave:          ``σ'_p = σ_p − w{v,v} − η w{v,V/V_p} + (η−1) w{v,V_p/v}``
+  and ``Λ̂'_p = Λ̂_p − w{v,v} − w{v,V/v}/2``;
+* move  (Eq. 8):  ``Δ(i,p,q)Λ = Δ_leave Λ_p + Δ_join Λ_q`` — by Lemma 1 no
+  other community's throughput changes;
+* candidates (Eq. 9): only communities ``v`` actually connects to.
+
+Ties between equally good destinations break toward the smallest community
+index, keeping the whole scheme deterministic (paper Section IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.allocation import Allocation, capped_throughput
+from repro.core.graph import Node
+
+
+class GainComputer:
+    """Evaluates join / leave / move throughput gains on an allocation."""
+
+    __slots__ = ("alloc", "_eta", "_lam")
+
+    def __init__(self, alloc: Allocation) -> None:
+        self.alloc = alloc
+        self._eta = alloc.params.eta
+        self._lam = alloc.params.lam
+
+    # ------------------------------------------------------------------
+    # Primitive deltas
+    # ------------------------------------------------------------------
+    def join_gain(
+        self,
+        q: int,
+        w_to_q: float,
+        w_self: float,
+        w_ext: float,
+    ) -> float:
+        """``Δ_join Λ_q`` (Eq. 6) for a node with the given incident weights.
+
+        Works identically whether the node currently sits in another
+        community, in a temporary small community, or is unassigned — in
+        every case its edges toward ``V_q`` are currently cut weight of
+        ``q`` and would become intra weight.
+        """
+        alloc = self.alloc
+        sigma_q = alloc.sigma[q]
+        lam_hat_q = alloc.lam_hat[q]
+        sigma_new = sigma_q + w_self + self._eta * (w_ext - w_to_q) + (1.0 - self._eta) * w_to_q
+        lam_hat_new = lam_hat_q + w_self + w_ext / 2.0
+        before = capped_throughput(sigma_q, lam_hat_q, self._lam)
+        after = capped_throughput(sigma_new, lam_hat_new, self._lam)
+        return after - before
+
+    def leave_gain(
+        self,
+        p: int,
+        w_to_p: float,
+        w_self: float,
+        w_ext: float,
+    ) -> float:
+        """``Δ_leave Λ_p`` for a node of ``V_p`` leaving it.
+
+        ``w_to_p`` is ``w{v, V_p/v}`` — the node's weight toward the *other*
+        members of its own community.
+        """
+        alloc = self.alloc
+        sigma_p = alloc.sigma[p]
+        lam_hat_p = alloc.lam_hat[p]
+        sigma_new = sigma_p - w_self - self._eta * (w_ext - w_to_p) + (self._eta - 1.0) * w_to_p
+        lam_hat_new = lam_hat_p - w_self - w_ext / 2.0
+        before = capped_throughput(sigma_p, lam_hat_p, self._lam)
+        after = capped_throughput(sigma_new, lam_hat_new, self._lam)
+        return after - before
+
+    def move_gain(
+        self,
+        p: int,
+        q: int,
+        w_to_p: float,
+        w_to_q: float,
+        w_self: float,
+        w_ext: float,
+    ) -> float:
+        """``Δ(i,p,q)Λ`` (Eq. 8): combined leave + join gain."""
+        return (
+            self.leave_gain(p, w_to_p, w_self, w_ext)
+            + self.join_gain(q, w_to_q, w_self, w_ext)
+        )
+
+    # ------------------------------------------------------------------
+    # Node-level search
+    # ------------------------------------------------------------------
+    def candidate_communities(
+        self,
+        v: Node,
+        by_shard: Dict[int, float],
+        exclude: Optional[int],
+        limit: Optional[int] = None,
+    ) -> List[int]:
+        """``C_v`` of Eq. (9): communities ``v`` connects to, minus its own.
+
+        ``limit`` restricts candidates to community indices ``< limit`` —
+        the initialisation phase passes ``limit=k`` so small temporary
+        communities are never destinations.  The result is sorted so the
+        subsequent argmax is deterministic.
+        """
+        if limit is None:
+            return sorted(
+                j for j, w in by_shard.items() if j != exclude and w > 0.0
+            )
+        return sorted(
+            j for j, w in by_shard.items() if j != exclude and w > 0.0 and j < limit
+        )
+
+    def best_join(
+        self,
+        v: Node,
+        candidates: Iterable[int],
+        by_shard: Dict[int, float],
+        w_self: float,
+        w_ext: float,
+    ) -> Tuple[Optional[int], float]:
+        """Argmax of Eq. (6) over ``candidates``.
+
+        Returns ``(community, gain)``; ``(None, 0.0)`` when there are no
+        candidates.  Ties break toward the smallest index because
+        candidates are scanned in ascending order and strict improvement
+        is required to switch.
+        """
+        best_q: Optional[int] = None
+        best_gain = -float("inf")
+        for q in candidates:
+            gain = self.join_gain(q, by_shard.get(q, 0.0), w_self, w_ext)
+            if gain > best_gain:
+                best_gain = gain
+                best_q = q
+        if best_q is None:
+            return None, 0.0
+        return best_q, best_gain
+
+    def best_move(
+        self,
+        v: Node,
+        candidates: Iterable[int],
+        by_shard: Dict[int, float],
+        w_self: float,
+        w_ext: float,
+        p: int,
+    ) -> Tuple[Optional[int], float]:
+        """Argmax of Eq. (8) over ``candidates`` for a node of ``V_p``.
+
+        The leave gain is evaluated once (it does not depend on ``q``).
+        """
+        w_to_p = by_shard.get(p, 0.0)
+        leave = self.leave_gain(p, w_to_p, w_self, w_ext)
+        best_q: Optional[int] = None
+        best_gain = -float("inf")
+        for q in candidates:
+            if q == p:
+                continue
+            gain = leave + self.join_gain(q, by_shard.get(q, 0.0), w_self, w_ext)
+            if gain > best_gain:
+                best_gain = gain
+                best_q = q
+        if best_q is None:
+            return None, 0.0
+        return best_q, best_gain

@@ -1,0 +1,25 @@
+"""Workload substrate: synthetic Ethereum generator, loaders, streaming."""
+
+from repro.data.loader import (
+    group_into_blocks,
+    load_transactions_csv,
+    load_transactions_jsonl,
+)
+from repro.data.stream import BlockStream
+from repro.data.synthetic import (
+    DatasetCard,
+    EthereumWorkloadGenerator,
+    WorkloadConfig,
+    account_sets,
+)
+
+__all__ = [
+    "BlockStream",
+    "DatasetCard",
+    "EthereumWorkloadGenerator",
+    "WorkloadConfig",
+    "account_sets",
+    "group_into_blocks",
+    "load_transactions_csv",
+    "load_transactions_jsonl",
+]

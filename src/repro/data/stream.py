@@ -1,0 +1,68 @@
+"""Block-stream utilities for the dynamic (τ-periodic) pipeline.
+
+The A-TxAllo evaluation (paper Section VI-C) splits the ledger 9:1 —
+G-TxAllo trains on the first part, A-TxAllo runs over the rest in
+τ₁-block windows (300 blocks ≈ one Ethereum hour).  :class:`BlockStream`
+packages those patterns: ratio splits, fixed-size windows, and projection
+to the account-set views the metrics consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.chain.types import Address, Block, Transaction
+from repro.errors import DataError
+
+
+class BlockStream:
+    """An ordered, indexable sequence of blocks with windowing helpers."""
+
+    def __init__(self, blocks: Sequence[Block]) -> None:
+        self._blocks: List[Block] = list(blocks)
+        for i in range(1, len(self._blocks)):
+            if self._blocks[i].height <= self._blocks[i - 1].height:
+                raise DataError(
+                    f"blocks out of order at position {i}: "
+                    f"{self._blocks[i].height} after {self._blocks[i - 1].height}"
+                )
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __getitem__(self, index):
+        picked = self._blocks[index]
+        if isinstance(index, slice):
+            return BlockStream(picked)
+        return picked
+
+    @property
+    def num_transactions(self) -> int:
+        return sum(len(b) for b in self._blocks)
+
+    def transactions(self) -> Iterator[Transaction]:
+        for block in self._blocks:
+            yield from block
+
+    def account_sets(self) -> List[Tuple[Address, ...]]:
+        """Sorted account tuples of every transaction, in chain order."""
+        return [tuple(sorted(tx.accounts)) for tx in self.transactions()]
+
+    # ------------------------------------------------------------------
+    def split(self, ratio: float) -> Tuple["BlockStream", "BlockStream"]:
+        """Split the stream by block count (paper uses ``ratio = 0.9``)."""
+        if not 0.0 < ratio < 1.0:
+            raise DataError(f"split ratio must be in (0, 1), got {ratio!r}")
+        cut = int(len(self._blocks) * ratio)
+        cut = max(1, min(cut, len(self._blocks) - 1))
+        return BlockStream(self._blocks[:cut]), BlockStream(self._blocks[cut:])
+
+    def windows(self, size: int) -> Iterator["BlockStream"]:
+        """Consecutive windows of ``size`` blocks (last one may be short)."""
+        if size < 1:
+            raise DataError(f"window size must be positive, got {size!r}")
+        for start in range(0, len(self._blocks), size):
+            yield BlockStream(self._blocks[start:start + size])

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+one base class.  Errors are deliberately specific: an invalid hyperparameter
+raises :class:`ParameterError`, a malformed transaction raises
+:class:`TransactionError`, and so on.  The library never silences an error or
+returns a sentinel value where an exception is the clearer signal.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A hyperparameter is outside its valid domain (e.g. ``k < 1``)."""
+
+
+class TransactionError(ReproError, ValueError):
+    """A transaction violates the model of Section III-A of the paper.
+
+    For example an empty input or output account set.
+    """
+
+
+class AllocationError(ReproError, ValueError):
+    """An account-shard mapping violates Definition 1 of the paper.
+
+    Raised on duplicate assignment (uniqueness) or on access to an account
+    that is missing from the mapping (completeness).
+    """
+
+
+class GraphError(ReproError, ValueError):
+    """An operation on the transaction graph is inconsistent.
+
+    For example requesting the neighbourhood of an unknown node.
+    """
+
+
+class LedgerError(ReproError, ValueError):
+    """A ledger operation is invalid, e.g. appending a non-contiguous block."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-time shard simulator reached an inconsistent state."""
+
+
+class DataError(ReproError, ValueError):
+    """An external dataset (CSV/JSONL export) is malformed."""

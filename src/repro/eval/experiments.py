@@ -1,0 +1,619 @@
+"""Experiment runners for every figure of the paper's evaluation.
+
+Each ``figure*`` function reproduces one figure of Section VI on a
+synthetic Ethereum-like workload (see :mod:`repro.data.synthetic` for the
+substitution rationale) and returns raw data plus a ``render()``-able
+report.  The benchmark suite (``benchmarks/``) and the CLI both drive
+these runners; EXPERIMENTS.md records paper-vs-measured shapes.
+
+Scale: the paper uses 91.8M transactions; the default here is ~60k
+(``scale=1.0``), which preserves every comparative shape while running on
+a laptop.  Pass a larger ``scale`` to stress the allocators.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.baselines.hash_allocation import hash_partition
+from repro.baselines.metis import metis_partition
+from repro.baselines.shard_scheduler import ShardScheduler
+from repro.core.allocation import Allocation
+from repro.core.atxallo import a_txallo
+from repro.core.graph import TransactionGraph
+from repro.core.gtxallo import g_txallo
+from repro.core.metrics import (
+    average_latency,
+    evaluate_allocation,
+    workload_balance,
+    worst_case_latency,
+)
+from repro.core.params import TxAlloParams
+from repro.data.stream import BlockStream
+from repro.data.synthetic import (
+    DatasetCard,
+    EthereumWorkloadGenerator,
+    WorkloadConfig,
+    account_sets,
+)
+from repro.errors import ParameterError
+from repro.eval.reporting import ascii_bar_chart, ascii_line_chart, format_table
+
+#: Canonical method names, in the paper's legend order.
+METHODS = ("txallo", "random", "metis", "shard_scheduler")
+
+METHOD_LABELS = {
+    "txallo": "Our Method",
+    "random": "Random",
+    "metis": "Metis",
+    "shard_scheduler": "Shard Scheduler",
+}
+
+#: The paper sweeps k in [2, 60] and eta in {2,..,10}; these defaults keep
+#: bench runtime sane while covering the same range.
+DEFAULT_KS = (2, 10, 20, 40, 60)
+DEFAULT_ETAS = (2.0, 4.0, 6.0, 8.0, 10.0)
+
+
+# ----------------------------------------------------------------------
+# Workload
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class Workload:
+    """A materialised workload: transactions plus derived views."""
+
+    config: WorkloadConfig
+    generator: EthereumWorkloadGenerator
+    account_sets: List[tuple]
+    graph: TransactionGraph
+    blocks: BlockStream
+    card: DatasetCard
+
+    @property
+    def num_transactions(self) -> int:
+        return len(self.account_sets)
+
+
+def build_workload(
+    scale: float = 1.0,
+    seed: int = 2022,
+    **overrides,
+) -> Workload:
+    """Generate the evaluation workload at a given scale.
+
+    ``scale`` multiplies both the account and transaction counts of the
+    default configuration; other :class:`WorkloadConfig` fields can be
+    overridden by keyword.
+    """
+    if scale <= 0:
+        raise ParameterError(f"scale must be positive, got {scale!r}")
+    base = WorkloadConfig()
+    config = dataclasses.replace(
+        base,
+        num_accounts=max(100, int(base.num_accounts * scale)),
+        num_transactions=max(1000, int(base.num_transactions * scale)),
+        seed=seed,
+        **overrides,
+    )
+    generator = EthereumWorkloadGenerator(config)
+    transactions = generator.generate()
+    sets_ = account_sets(transactions)
+    graph = TransactionGraph()
+    for s in sets_:
+        graph.add_transaction(s)
+    blocks = BlockStream(list(generator.blocks()))
+    card = generator.dataset_card(transactions)
+    return Workload(
+        config=config,
+        generator=generator,
+        account_sets=sets_,
+        graph=graph,
+        blocks=blocks,
+        card=card,
+    )
+
+
+# ----------------------------------------------------------------------
+# Method runners
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class MethodMetrics:
+    """All Section III-B metrics for one (method, k, eta) cell."""
+
+    method: str
+    k: int
+    eta: float
+    cross_shard_ratio: float
+    workload_balance: float
+    throughput_x: float
+    avg_latency: float
+    worst_latency: float
+    runtime_seconds: float
+    normalized_workloads: Tuple[float, ...]
+
+
+class _MappingCache:
+    """Caches eta-independent mappings (random, METIS) across the sweep."""
+
+    def __init__(self) -> None:
+        self._random: Dict[int, Tuple[dict, float]] = {}
+        self._metis: Dict[int, Tuple[dict, float]] = {}
+
+    def random_mapping(self, workload: Workload, k: int) -> Tuple[dict, float]:
+        if k not in self._random:
+            t0 = time.perf_counter()
+            mapping = hash_partition(workload.graph.nodes_sorted(), k)
+            self._random[k] = (mapping, time.perf_counter() - t0)
+        return self._random[k]
+
+    def metis_mapping(self, workload: Workload, k: int) -> Tuple[dict, float]:
+        if k not in self._metis:
+            t0 = time.perf_counter()
+            result = metis_partition(workload.graph, k)
+            self._metis[k] = (result.mapping, time.perf_counter() - t0)
+        return self._metis[k]
+
+
+def run_method(
+    method: str,
+    workload: Workload,
+    params: TxAlloParams,
+    cache: Optional[_MappingCache] = None,
+) -> MethodMetrics:
+    """Run one allocator at one (k, eta) setting and measure everything."""
+    lam = params.lam
+    if method == "shard_scheduler":
+        # Online method: metrics accumulate at processing time.
+        t0 = time.perf_counter()
+        result = ShardScheduler(params).run(workload.account_sets)
+        runtime = time.perf_counter() - t0
+        return MethodMetrics(
+            method=method,
+            k=params.k,
+            eta=params.eta,
+            cross_shard_ratio=result.cross_shard_ratio,
+            workload_balance=workload_balance(result.shard_loads, lam),
+            throughput_x=result.throughput(lam) / lam,
+            avg_latency=average_latency(result.shard_loads, lam),
+            worst_latency=worst_case_latency(result.shard_loads, lam),
+            runtime_seconds=runtime,
+            normalized_workloads=tuple(s / lam for s in result.shard_loads),
+        )
+
+    if method == "txallo":
+        t0 = time.perf_counter()
+        mapping = g_txallo(workload.graph, params).allocation.mapping()
+        runtime = time.perf_counter() - t0
+    elif method == "random":
+        cache = cache or _MappingCache()
+        mapping, runtime = cache.random_mapping(workload, params.k)
+    elif method == "metis":
+        cache = cache or _MappingCache()
+        mapping, runtime = cache.metis_mapping(workload, params.k)
+    else:
+        raise ParameterError(f"unknown method {method!r}; expected one of {METHODS}")
+
+    report = evaluate_allocation(workload.account_sets, mapping, params)
+    return MethodMetrics(
+        method=method,
+        k=params.k,
+        eta=params.eta,
+        cross_shard_ratio=report.cross_shard_ratio,
+        workload_balance=report.workload_balance,
+        throughput_x=report.normalized_throughput,
+        avg_latency=report.average_latency,
+        worst_latency=report.worst_case_latency,
+        runtime_seconds=runtime,
+        normalized_workloads=tuple(s / lam for s in report.shard_workloads),
+    )
+
+
+def sweep(
+    workload: Workload,
+    ks: Sequence[int] = DEFAULT_KS,
+    etas: Sequence[float] = DEFAULT_ETAS,
+    methods: Sequence[str] = METHODS,
+) -> List[MethodMetrics]:
+    """The full (method x k x eta) grid behind Figs. 2, 3, 5, 6, 7, 8."""
+    cache = _MappingCache()
+    records: List[MethodMetrics] = []
+    for eta in etas:
+        for k in ks:
+            params = TxAlloParams.with_capacity_for(
+                workload.num_transactions, k=k, eta=eta
+            )
+            for method in methods:
+                records.append(run_method(method, workload, params, cache))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Figure-shaped views over sweep records
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class FigureSeries:
+    """One paper figure: per-eta panels of per-method (k, value) curves."""
+
+    figure: str
+    metric: str
+    panels: Dict[float, Dict[str, List[Tuple[float, float]]]]
+
+    def panel(self, eta: float) -> Dict[str, List[Tuple[float, float]]]:
+        return self.panels[eta]
+
+    def value(self, eta: float, method: str, k: int) -> float:
+        label = METHOD_LABELS[method]
+        for x, y in self.panels[eta][label]:
+            if x == k:
+                return y
+        raise KeyError(f"no ({method}, k={k}) point in panel eta={eta}")
+
+    def render(self) -> str:
+        chunks = [f"== {self.figure}: {self.metric} =="]
+        for eta, series in sorted(self.panels.items()):
+            chunks.append(
+                ascii_line_chart(
+                    series,
+                    title=f"-- eta = {eta:g} --",
+                )
+            )
+            headers = ["k"] + [name for name in series]
+            ks = sorted({x for pts in series.values() for x, _ in pts})
+            rows = []
+            for k in ks:
+                row: List[object] = [int(k)]
+                for name in series:
+                    val = dict(series[name]).get(k, float("nan"))
+                    row.append(val)
+                rows.append(row)
+            chunks.append(format_table(headers, rows))
+        return "\n\n".join(chunks)
+
+
+def _series_from_records(
+    records: Iterable[MethodMetrics],
+    figure: str,
+    metric: str,
+    getter,
+) -> FigureSeries:
+    panels: Dict[float, Dict[str, List[Tuple[float, float]]]] = {}
+    for rec in records:
+        panel = panels.setdefault(rec.eta, {})
+        label = METHOD_LABELS[rec.method]
+        panel.setdefault(label, []).append((float(rec.k), getter(rec)))
+    for panel in panels.values():
+        for pts in panel.values():
+            pts.sort()
+    return FigureSeries(figure=figure, metric=metric, panels=panels)
+
+
+def figure2(records: Iterable[MethodMetrics]) -> FigureSeries:
+    """Fig. 2 — cross-shard transaction ratio vs. k, per eta."""
+    return _series_from_records(
+        records, "Figure 2", "cross-shard transaction ratio",
+        lambda r: r.cross_shard_ratio,
+    )
+
+
+def figure3(records: Iterable[MethodMetrics]) -> FigureSeries:
+    """Fig. 3 — workload balance (std of sigma_i / lambda) vs. k, per eta."""
+    return _series_from_records(
+        records, "Figure 3", "workload balance (rho)",
+        lambda r: r.workload_balance,
+    )
+
+
+def figure5(records: Iterable[MethodMetrics]) -> FigureSeries:
+    """Fig. 5 — normalised system throughput (times) vs. k, per eta."""
+    return _series_from_records(
+        records, "Figure 5", "throughput improvement (x)",
+        lambda r: r.throughput_x,
+    )
+
+
+def figure6(records: Iterable[MethodMetrics]) -> FigureSeries:
+    """Fig. 6 — average confirmation latency (blocks) vs. k, per eta."""
+    return _series_from_records(
+        records, "Figure 6", "average latency (blocks)",
+        lambda r: r.avg_latency,
+    )
+
+
+def figure7(records: Iterable[MethodMetrics]) -> FigureSeries:
+    """Fig. 7 — worst-case latency (blocks) vs. k, per eta."""
+    return _series_from_records(
+        records, "Figure 7", "worst-case latency (blocks)",
+        lambda r: r.worst_latency,
+    )
+
+
+def figure8(records: Iterable[MethodMetrics]) -> FigureSeries:
+    """Fig. 8 — allocator running time (seconds) vs. k, per eta."""
+    return _series_from_records(
+        records, "Figure 8", "running time (s)",
+        lambda r: r.runtime_seconds,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — dataset card
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class Figure1Report:
+    """Fig. 1 stand-in: the structural facts instead of a scatter plot."""
+
+    card: DatasetCard
+    degree_histogram: List[Tuple[int, int]]
+
+    def render(self) -> str:
+        lines = [
+            "== Figure 1: dataset structure ==",
+            f"transactions:        {self.card.num_transactions}",
+            f"active accounts:     {self.card.num_accounts}",
+            f"top account share:   {self.card.top_account_share:.1%}"
+            "  (paper: ~11% of transactions on the most active account)",
+            f"top-10 share:        {self.card.top10_account_share:.1%}",
+            f"self-loop ratio:     {self.card.self_loop_ratio:.2%}",
+            f"multi-IO ratio:      {self.card.multi_io_ratio:.2%}",
+            f"accounts per tx:     {self.card.mean_accounts_per_tx:.2f}",
+            "degree histogram (long tail):",
+        ]
+        total = sum(c for _, c in self.degree_histogram) or 1
+        for bound, count in self.degree_histogram:
+            bar = "#" * max(1, int(50 * count / total)) if count else ""
+            lines.append(f"  degree <= {bound:>6}: {count:>8} {bar}")
+        return "\n".join(lines)
+
+
+def figure1(workload: Workload) -> Figure1Report:
+    return Figure1Report(
+        card=workload.card,
+        degree_histogram=workload.graph.degree_histogram(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — workload distribution case study
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class Figure4Report:
+    """Per-shard normalised workloads for each method (k=20, eta=2)."""
+
+    k: int
+    eta: float
+    distributions: Dict[str, Tuple[float, ...]]
+
+    def render(self) -> str:
+        chunks = [f"== Figure 4: workload distribution (k={self.k}, eta={self.eta:g}) =="]
+        for method, dist in self.distributions.items():
+            ordered = tuple(sorted(dist, reverse=True))
+            chunks.append(
+                ascii_bar_chart(
+                    ordered,
+                    labels=[str(i) for i in range(len(ordered))],
+                    title=f"-- {method} --",
+                    reference=1.0,
+                )
+            )
+        return "\n\n".join(chunks)
+
+
+def figure4(
+    workload: Workload,
+    k: int = 20,
+    eta: float = 2.0,
+    methods: Sequence[str] = METHODS,
+) -> Figure4Report:
+    params = TxAlloParams.with_capacity_for(workload.num_transactions, k=k, eta=eta)
+    cache = _MappingCache()
+    distributions = {
+        METHOD_LABELS[m]: run_method(m, workload, params, cache).normalized_workloads
+        for m in methods
+    }
+    return Figure4Report(k=k, eta=eta, distributions=distributions)
+
+
+# ----------------------------------------------------------------------
+# Figures 9 & 10 — the adaptive pipeline
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class AdaptiveStep:
+    """One time step of the adaptive evolution experiment."""
+
+    step: int
+    kind: str             # "global" or "adaptive"
+    throughput_x: float   # normalised throughput on this step's window
+    runtime_seconds: float
+
+
+@dataclasses.dataclass
+class AdaptiveRun:
+    """One policy's trajectory over the evaluation stream."""
+
+    policy: str
+    steps: List[AdaptiveStep]
+
+    @property
+    def mean_throughput(self) -> float:
+        if not self.steps:
+            return 0.0
+        return sum(s.throughput_x for s in self.steps) / len(self.steps)
+
+    @property
+    def mean_adaptive_runtime(self) -> float:
+        adaptive = [s.runtime_seconds for s in self.steps if s.kind == "adaptive"]
+        if not adaptive:
+            return 0.0
+        return sum(adaptive) / len(adaptive)
+
+
+@dataclasses.dataclass
+class Figure9Report:
+    """Fig. 9 — throughput evolution for various global updating gaps."""
+
+    k: int
+    eta: float
+    runs: Dict[str, AdaptiveRun]
+
+    def render(self) -> str:
+        series = {
+            name: [(float(s.step), s.throughput_x) for s in run.steps]
+            for name, run in self.runs.items()
+        }
+        chart = ascii_line_chart(
+            series,
+            title=f"== Figure 9: throughput evolution (k={self.k}, eta={self.eta:g}) ==",
+        )
+        rows = [
+            (name, run.mean_throughput, run.mean_adaptive_runtime)
+            for name, run in self.runs.items()
+        ]
+        table = format_table(
+            ["policy", "avg throughput (x)", "avg adaptive runtime (s)"], rows
+        )
+        return chart + "\n\n" + table
+
+
+def _replay_policy(
+    policy: str,
+    global_gap: int,
+    train_graph: TransactionGraph,
+    base_mapping: dict,
+    eval_windows: List[BlockStream],
+    params: TxAlloParams,
+) -> AdaptiveRun:
+    """Replay the evaluation stream under one update policy.
+
+    ``global_gap`` is the number of adaptive steps between G-TxAllo
+    refreshes; 1 means "pure global" (G-TxAllo every step).
+    """
+    graph = train_graph.copy()
+    alloc = Allocation.from_partition(graph, params, base_mapping)
+    steps: List[AdaptiveStep] = []
+    for index, window in enumerate(eval_windows):
+        window_sets = window.account_sets()
+        touched = set()
+        for s in window_sets:
+            graph.add_transaction(s)
+            alloc.ingest_transaction(s)
+            touched.update(s)
+        run_global = (index + 1) % global_gap == 0 if global_gap > 0 else False
+        t0 = time.perf_counter()
+        if run_global:
+            alloc = g_txallo(graph, params).allocation
+            kind = "global"
+        else:
+            a_txallo(alloc, touched)
+            kind = "adaptive"
+        runtime = time.perf_counter() - t0
+        window_lam = max(1.0, len(window_sets) / params.k)
+        window_params = params.replace(lam=window_lam)
+        report = evaluate_allocation(window_sets, alloc, window_params)
+        steps.append(
+            AdaptiveStep(
+                step=index,
+                kind=kind,
+                throughput_x=report.normalized_throughput,
+                runtime_seconds=runtime,
+            )
+        )
+    return AdaptiveRun(policy=policy, steps=steps)
+
+
+def figure9(
+    workload: Workload,
+    k: int = 20,
+    eta: float = 2.0,
+    gaps: Sequence[int] = (20, 40, 100, 200),
+    window_blocks: int = 0,
+    split_ratio: float = 0.9,
+    max_steps: int = 0,
+) -> Figure9Report:
+    """Fig. 9: A-TxAllo throughput evolution for several global gaps.
+
+    ``window_blocks`` is the adaptive period τ₁ in blocks (0 = auto so the
+    evaluation stream yields ~40 windows); ``max_steps`` truncates the
+    stream (0 = use all windows).  The paper's τ₁ is 300 blocks (≈1 hour).
+    """
+    train, evaluation = workload.blocks.split(split_ratio)
+    if window_blocks <= 0:
+        window_blocks = max(1, len(evaluation) // 40)
+    windows = list(evaluation.windows(window_blocks))
+    if max_steps > 0:
+        windows = windows[:max_steps]
+
+    params = TxAlloParams.with_capacity_for(train.num_transactions, k=k, eta=eta)
+    train_graph = TransactionGraph()
+    for s in train.account_sets():
+        train_graph.add_transaction(s)
+    base_mapping = g_txallo(train_graph, params).allocation.mapping()
+
+    runs: Dict[str, AdaptiveRun] = {}
+    runs["Global Method"] = _replay_policy(
+        "Global Method", 1, train_graph, base_mapping, windows, params
+    )
+    for gap in gaps:
+        name = f"Gap={gap}"
+        runs[name] = _replay_policy(name, gap, train_graph, base_mapping, windows, params)
+    return Figure9Report(k=k, eta=eta, runs=runs)
+
+
+@dataclasses.dataclass
+class Figure10Report:
+    """Fig. 10 — per-step runtime: pure G-TxAllo vs. the hybrid policy."""
+
+    pure: AdaptiveRun
+    hybrid: AdaptiveRun
+
+    def render(self) -> str:
+        series = {
+            "Pure G-TxAllo": [
+                (float(s.step), s.runtime_seconds) for s in self.pure.steps
+            ],
+            "Hybrid Method": [
+                (float(s.step), s.runtime_seconds) for s in self.hybrid.steps
+            ],
+        }
+        chart = ascii_line_chart(series, title="== Figure 10: running time per step ==")
+        pure_mean = sum(s.runtime_seconds for s in self.pure.steps) / max(
+            1, len(self.pure.steps)
+        )
+        hybrid_adaptive = self.hybrid.mean_adaptive_runtime
+        speedup = pure_mean / hybrid_adaptive if hybrid_adaptive > 0 else math.inf
+        summary = format_table(
+            ["policy", "mean step runtime (s)"],
+            [
+                ("Pure G-TxAllo", pure_mean),
+                ("Hybrid adaptive steps", hybrid_adaptive),
+                ("adaptive speedup (x)", speedup),
+            ],
+        )
+        return chart + "\n\n" + summary
+
+
+def figure10(
+    workload: Workload,
+    k: int = 20,
+    eta: float = 2.0,
+    global_gap: int = 20,
+    window_blocks: int = 0,
+    split_ratio: float = 0.9,
+    max_steps: int = 0,
+) -> Figure10Report:
+    """Fig. 10: runtime of pure-global vs. hybrid updating (τ₂ = gap·τ₁)."""
+    report = figure9(
+        workload,
+        k=k,
+        eta=eta,
+        gaps=(global_gap,),
+        window_blocks=window_blocks,
+        split_ratio=split_ratio,
+        max_steps=max_steps,
+    )
+    return Figure10Report(
+        pure=report.runs["Global Method"],
+        hybrid=report.runs[f"Gap={global_gap}"],
+    )

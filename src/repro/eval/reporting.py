@@ -1,0 +1,115 @@
+"""Plain-text reporting: fixed-width tables and ASCII charts.
+
+The benchmark harness prints every figure of the paper as a table plus an
+ASCII chart, so the reproduction is inspectable in a terminal and in CI
+logs without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width table with a header separator.
+
+    Floats are shown with three decimals; everything else via ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ascii_line_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Plot multiple (x, y) series on a shared-axis ASCII canvas.
+
+    Each series gets a distinct marker; a legend is appended.  Intended
+    for monotone sweep curves (the paper's Figs. 2-8), not for precision.
+    """
+    markers = "ox*+#@%&"
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(series.items()):
+        mark = markers[idx % len(markers)]
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            canvas[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(canvas):
+        label = y_hi if i == 0 else (y_lo if i == height - 1 else None)
+        prefix = f"{label:10.3f} |" if label is not None else " " * 10 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 11 + "-" * width)
+    lines.append(" " * 11 + f"{x_lo:<10.3g}{' ' * max(0, width - 20)}{x_hi:>10.3g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    values: Sequence[float],
+    *,
+    labels: Sequence[str] = (),
+    width: int = 50,
+    title: str = "",
+    reference: float = None,
+) -> str:
+    """Horizontal bar chart; optionally marks a ``reference`` value.
+
+    Used for the workload-distribution figure (Fig. 4), where the
+    reference line is the normalised capacity 1.0.
+    """
+    if not values:
+        return f"{title}\n(no data)"
+    top = max(max(values), reference or 0.0) or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    ref_col = None
+    if reference is not None:
+        ref_col = int(reference / top * width)
+    for i, value in enumerate(values):
+        label = labels[i] if i < len(labels) else str(i)
+        filled = int(value / top * width)
+        bar = list("#" * filled + " " * (width - filled))
+        if ref_col is not None and 0 <= ref_col < width and bar[ref_col] == " ":
+            bar[ref_col] = "|"
+        lines.append(f"{label:>8} {''.join(bar)} {value:.2f}")
+    if reference is not None:
+        lines.append(f"{'':>8} ('|' marks the capacity line at {reference:g})")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Wall-clock timing helpers for the runtime figures (Figs. 8, 10)."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def time_call(fn: Callable[..., T], *args, **kwargs) -> Tuple[T, float]:
+    """Call ``fn`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

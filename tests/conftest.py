@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (the synthetic workload, its transaction graph) are
+session-scoped; tests must treat them as read-only and copy before
+mutating.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.graph import TransactionGraph
+from repro.core.params import TxAlloParams
+from repro.data.synthetic import EthereumWorkloadGenerator, WorkloadConfig, account_sets
+
+
+@pytest.fixture
+def triangle_graph() -> TransactionGraph:
+    """Two triangles joined by one bridge edge, plus a self-loop."""
+    graph = TransactionGraph()
+    for pair in [("a", "b"), ("b", "c"), ("a", "c"),
+                 ("x", "y"), ("y", "z"), ("x", "z"),
+                 ("c", "x")]:
+        graph.add_transaction(pair)
+    graph.add_transaction(("a", "a"))
+    return graph
+
+
+@pytest.fixture
+def params2() -> TxAlloParams:
+    return TxAlloParams(k=2, eta=2.0, lam=10.0, epsilon=1e-9)
+
+
+@pytest.fixture
+def params4() -> TxAlloParams:
+    return TxAlloParams(k=4, eta=2.0, lam=100.0, epsilon=1e-9)
+
+
+def make_random_graph(
+    num_accounts: int = 60,
+    num_transactions: int = 400,
+    seed: int = 11,
+    groups: int = 3,
+) -> TransactionGraph:
+    """A small clustered random graph for exactness/property tests."""
+    rng = random.Random(seed)
+    accounts = [f"acc{i:03d}" for i in range(num_accounts)]
+    per_group = num_accounts // groups
+    graph = TransactionGraph()
+    for _ in range(num_transactions):
+        g = rng.randrange(groups)
+        pool = accounts[g * per_group:(g + 1) * per_group]
+        size = rng.choice([1, 2, 2, 2, 2, 3])
+        accs = rng.sample(pool, min(size, len(pool)))
+        if rng.random() < 0.15:
+            accs.append(rng.choice(accounts))
+        graph.add_transaction(set(accs))
+    return graph
+
+
+@pytest.fixture
+def clustered_graph() -> TransactionGraph:
+    return make_random_graph()
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A session-scoped synthetic workload: ~6k transactions."""
+    config = WorkloadConfig(num_accounts=1500, num_transactions=6000, seed=5)
+    generator = EthereumWorkloadGenerator(config)
+    transactions = generator.generate()
+    sets_ = account_sets(transactions)
+    graph = TransactionGraph()
+    for s in sets_:
+        graph.add_transaction(s)
+    return {
+        "config": config,
+        "generator": generator,
+        "transactions": transactions,
+        "sets": sets_,
+        "graph": graph,
+    }

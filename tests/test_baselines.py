@@ -1,0 +1,196 @@
+"""Tests for the three baseline allocators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.hash_allocation import (
+    account_digest,
+    hash_partition,
+    hash_shard,
+    prefix_partition,
+    prefix_shard,
+)
+from repro.baselines.metis import metis_partition
+from repro.baselines.shard_scheduler import ShardScheduler, shard_scheduler_partition
+from repro.core.metrics import graph_cross_shard_ratio, workload_balance
+from repro.core.params import TxAlloParams
+from repro.errors import ParameterError
+from tests.conftest import make_random_graph
+
+
+class TestHashAllocation:
+    def test_shard_in_range(self):
+        for k in (1, 2, 7, 60):
+            assert 0 <= hash_shard("0xabc", k) < k
+
+    def test_deterministic(self):
+        assert hash_shard("0xabc", 16) == hash_shard("0xabc", 16)
+
+    def test_partition_covers_all_accounts(self):
+        accounts = [f"0x{i:040x}" for i in range(100)]
+        part = hash_partition(accounts, 8)
+        assert set(part) == set(accounts)
+        assert set(part.values()) <= set(range(8))
+
+    def test_roughly_uniform(self):
+        accounts = [f"0x{i:040x}" for i in range(4000)]
+        part = hash_partition(accounts, 4)
+        counts = [0] * 4
+        for shard in part.values():
+            counts[shard] += 1
+        for c in counts:
+            assert abs(c - 1000) < 200
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            hash_shard("0xabc", 0)
+        with pytest.raises(ParameterError):
+            prefix_shard("0xabc", -1)
+
+    def test_prefix_shard_range(self):
+        for k in (1, 2, 8, 60):
+            assert 0 <= prefix_shard("0xdef", k) < k
+
+    def test_prefix_partition(self):
+        accounts = [f"0x{i:040x}" for i in range(50)]
+        part = prefix_partition(accounts, 8)
+        assert set(part) == set(accounts)
+
+    def test_digest_accepts_bytes(self):
+        assert account_digest(b"abc") == account_digest(b"abc")
+
+    @given(k=st.integers(1, 64), acc=st.text(min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_shard_in_range(self, k, acc):
+        assert 0 <= hash_shard(acc, k) < k
+
+
+class TestMetis:
+    def test_partition_complete_and_in_range(self, clustered_graph):
+        result = metis_partition(clustered_graph, 4)
+        assert set(result.mapping) == set(clustered_graph.nodes())
+        assert set(result.mapping.values()) <= set(range(4))
+
+    def test_single_part(self, clustered_graph):
+        result = metis_partition(clustered_graph, 1)
+        assert set(result.mapping.values()) == {0}
+        assert result.edge_cut == 0.0
+
+    def test_empty_graph(self):
+        from repro.core.graph import TransactionGraph
+
+        assert metis_partition(TransactionGraph(), 4).mapping == {}
+
+    def test_invalid_k(self, clustered_graph):
+        with pytest.raises(ParameterError):
+            metis_partition(clustered_graph, 0)
+
+    def test_deterministic(self, clustered_graph):
+        r1 = metis_partition(clustered_graph, 4)
+        r2 = metis_partition(clustered_graph, 4)
+        assert r1.mapping == r2.mapping
+
+    def test_cut_better_than_random(self):
+        graph = make_random_graph(num_accounts=80, num_transactions=600, seed=17, groups=4)
+        metis_gamma = graph_cross_shard_ratio(graph, metis_partition(graph, 4).mapping)
+        random_gamma = graph_cross_shard_ratio(
+            graph, hash_partition(graph.nodes_sorted(), 4)
+        )
+        assert metis_gamma < random_gamma
+
+    def test_node_weight_balance_respected(self):
+        graph = make_random_graph(num_accounts=80, num_transactions=600, seed=18, groups=4)
+        result = metis_partition(graph, 4, imbalance=1.1)
+        # imbalance diagnostic is max/avg of node weights.
+        assert result.node_weight_imbalance < 1.8
+
+    def test_custom_node_weights(self, clustered_graph):
+        weights = {v: 1.0 for v in clustered_graph.nodes()}
+        result = metis_partition(clustered_graph, 3, node_weights=weights)
+        sizes = [0] * 3
+        for shard in result.mapping.values():
+            sizes[shard] += 1
+        assert max(sizes) - min(sizes) < len(weights)
+
+    def test_levels_reported(self):
+        graph = make_random_graph(num_accounts=200, num_transactions=1500, seed=19)
+        result = metis_partition(graph, 2)
+        assert result.levels >= 1
+
+
+class TestShardScheduler:
+    def params(self, k=4, eta=2.0, n=100):
+        return TxAlloParams.with_capacity_for(n, k=k, eta=eta)
+
+    def test_places_every_account(self):
+        txs = [("a", "b"), ("c", "d"), ("a", "c")]
+        result = shard_scheduler_partition(txs, self.params(n=3))
+        assert set(result.mapping) == {"a", "b", "c", "d"}
+
+    def test_new_accounts_go_to_least_loaded(self):
+        scheduler = ShardScheduler(self.params())
+        scheduler.loads = [5.0, 0.0, 5.0, 5.0]
+        scheduler.observe(("x", "y"))
+        assert scheduler.mapping["x"] == 1
+        assert scheduler.mapping["y"] == 1
+
+    def test_intra_tx_charges_one(self):
+        scheduler = ShardScheduler(self.params())
+        scheduler.observe(("a", "b"))
+        assert sum(scheduler.loads) == pytest.approx(1.0)
+
+    def test_cross_tx_charges_eta_per_shard(self):
+        scheduler = ShardScheduler(self.params(eta=3.0))
+        scheduler.mapping = {"a": 0, "b": 1}
+        # Force loads so no migration is allowed (neither overloaded).
+        scheduler.loads = [1.0, 1.0, 1.0, 1.0]
+        was_cross = scheduler.observe(("a", "b"))
+        assert was_cross
+        assert scheduler.loads[0] == pytest.approx(4.0)
+        assert scheduler.loads[1] == pytest.approx(4.0)
+
+    def test_migration_relieves_overloaded_shard(self):
+        scheduler = ShardScheduler(self.params())
+        scheduler.mapping = {"a": 0, "b": 1}
+        scheduler.loads = [100.0, 0.0, 0.0, 0.0]  # shard 0 overloaded
+        scheduler.observe(("a", "b"))
+        assert scheduler.mapping["a"] == 1
+        assert scheduler.num_migrations == 1
+
+    def test_no_migration_when_balanced(self):
+        scheduler = ShardScheduler(self.params())
+        scheduler.mapping = {"a": 0, "b": 1}
+        scheduler.loads = [1.0, 1.0, 1.0, 1.0]
+        scheduler.observe(("a", "b"))
+        assert scheduler.mapping["a"] == 0
+        assert scheduler.num_migrations == 0
+
+    def test_deterministic(self, small_workload):
+        params = TxAlloParams.with_capacity_for(len(small_workload["sets"]), k=6)
+        r1 = shard_scheduler_partition(small_workload["sets"], params)
+        r2 = shard_scheduler_partition(small_workload["sets"], params)
+        assert r1.mapping == r2.mapping
+        assert r1.shard_loads == r2.shard_loads
+
+    def test_balance_is_excellent(self, small_workload):
+        params = TxAlloParams.with_capacity_for(len(small_workload["sets"]), k=6)
+        result = shard_scheduler_partition(small_workload["sets"], params)
+        rho = workload_balance(result.shard_loads, params.lam)
+        assert rho < 0.2
+
+    def test_invalid_buffer(self):
+        with pytest.raises(ParameterError):
+            ShardScheduler(self.params(), buffer_ratio=0.0)
+
+    def test_result_counters_consistent(self, small_workload):
+        params = TxAlloParams.with_capacity_for(len(small_workload["sets"]), k=6)
+        result = shard_scheduler_partition(small_workload["sets"], params)
+        assert result.num_transactions == len(small_workload["sets"])
+        assert 0 <= result.num_cross_shard <= result.num_transactions
+        assert 0.0 <= result.cross_shard_ratio <= 1.0
+
+    def test_throughput_capped_by_system_capacity(self, small_workload):
+        params = TxAlloParams.with_capacity_for(len(small_workload["sets"]), k=6)
+        result = shard_scheduler_partition(small_workload["sets"], params)
+        assert result.throughput(params.lam) <= params.lam * params.k + 1e-6

@@ -1,0 +1,46 @@
+"""Tests for the txallo CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_figure_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_list_parsing(self):
+        args = build_parser().parse_args(["fig2", "--ks", "2,4,8", "--etas", "2,6"])
+        assert args.ks == [2, 4, 8]
+        assert args.etas == [2.0, 6.0]
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.scale == 0.5
+        assert args.k == 20
+
+
+class TestMain:
+    def test_fig1(self, capsys):
+        assert main(["fig1", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_fig2_small(self, capsys):
+        assert main(["fig2", "--scale", "0.05", "--ks", "2,4", "--etas", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "Our Method" in out
+
+    def test_fig4_small(self, capsys):
+        assert main(["fig4", "--scale", "0.05", "--k", "4"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_fig10_small(self, capsys):
+        assert main(["fig10", "--scale", "0.05", "--k", "4", "--steps", "3"]) == 0
+        assert "Figure 10" in capsys.readouterr().out

@@ -1,0 +1,101 @@
+"""Tests for the τ₁/τ₂ dynamic controller."""
+
+import pytest
+
+from repro.core.controller import TxAlloController
+from repro.core.params import TxAlloParams
+from repro.data.synthetic import EthereumWorkloadGenerator, WorkloadConfig
+
+
+def block_stream(num_blocks=12, block_size=30, seed=9):
+    config = WorkloadConfig(
+        num_accounts=400,
+        num_transactions=num_blocks * block_size,
+        block_size=block_size,
+        seed=seed,
+    )
+    gen = EthereumWorkloadGenerator(config)
+    return [[tuple(tx.accounts) for tx in block] for block in gen.blocks()]
+
+
+class TestScheduling:
+    def test_initial_global_run_recorded(self):
+        params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=2, tau2=6)
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        assert controller.events[0].kind == "global"
+
+    def test_adaptive_fires_every_tau1(self):
+        params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=2, tau2=100)
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        events = [controller.observe_block(block) for block in block_stream(8)]
+        fired = [e for e in events if e is not None]
+        assert len(fired) == 4
+        assert all(e.kind == "adaptive" for e in fired)
+
+    def test_global_fires_every_tau2_and_wins_ties(self):
+        params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=2, tau2=4)
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        events = [controller.observe_block(block) for block in block_stream(8)]
+        fired = [e for e in events if e is not None]
+        kinds = [e.kind for e in fired]
+        # Blocks 2,6 -> adaptive; blocks 4,8 -> global (tau2 divides them).
+        assert kinds == ["adaptive", "global", "adaptive", "global"]
+
+    def test_no_update_between_periods(self):
+        params = TxAlloParams(k=2, eta=2.0, lam=1000.0, tau1=5, tau2=10)
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        assert controller.observe_block([("a", "c")]) is None
+
+    def test_event_views(self):
+        params = TxAlloParams(k=2, eta=2.0, lam=1000.0, tau1=1, tau2=3)
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        for block in block_stream(6):
+            controller.observe_block(block)
+        assert len(controller.global_events) >= 2  # initial + scheduled
+        assert len(controller.adaptive_events) >= 3
+
+
+class TestStateIntegrity:
+    def test_allocation_complete_after_stream(self):
+        params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=2, tau2=6)
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        for block in block_stream(12):
+            controller.observe_block(block)
+        controller.force_adaptive()  # flush the touched set
+        controller.allocation.validate()
+
+    def test_force_global_resets_touched(self):
+        params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=100, tau2=1000)
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        for block in block_stream(3):
+            controller.observe_block(block)
+        event = controller.force_global()
+        assert event.kind == "global"
+        controller.allocation.validate()
+
+    def test_block_height_advances(self):
+        params = TxAlloParams(k=2, eta=2.0, lam=1000.0, tau1=5, tau2=10)
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        blocks = block_stream(4)
+        for block in blocks:
+            controller.observe_block(block)
+        assert controller.block_height == 4
+
+    def test_deterministic_across_controllers(self):
+        params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=2, tau2=6)
+        mappings = []
+        for _ in range(2):
+            controller = TxAlloController(params, seed_transactions=[("a", "b")])
+            for block in block_stream(10):
+                controller.observe_block(block)
+            controller.force_adaptive()
+            mappings.append(controller.allocation.mapping())
+        assert mappings[0] == mappings[1]
+
+    def test_adaptive_disabled(self):
+        params = TxAlloParams(k=2, eta=2.0, lam=1000.0, tau1=1, tau2=100)
+        controller = TxAlloController(
+            params, seed_transactions=[("a", "b")], adaptive_enabled=False
+        )
+        events = [controller.observe_block(b) for b in block_stream(4)]
+        assert all(e is None for e in events)

@@ -1,0 +1,86 @@
+"""Tests for the two-phase cross-shard commit protocol."""
+
+import pytest
+
+from repro.chain.crossshard import CrossShardCoordinator, estimate_eta
+from repro.chain.network import NetworkModel
+from repro.errors import ParameterError, SimulationError
+
+
+def coordinator(protocol="pbft", miners=4):
+    return CrossShardCoordinator(
+        NetworkModel(jitter_fraction=0.0),
+        miners_per_shard=miners,
+        protocol=protocol,
+    )
+
+
+class TestSingleShard:
+    def test_intra_commit_one_round(self):
+        outcome = coordinator().execute([3])
+        assert outcome.committed
+        assert outcome.consensus_rounds == 1
+        assert outcome.involved_shards == (3,)
+
+    def test_intra_abort_on_no_vote(self):
+        outcome = coordinator().execute([3], votes=[False])
+        assert not outcome.committed
+
+
+class TestCrossShard:
+    def test_all_yes_commits(self):
+        outcome = coordinator().execute([0, 1, 2])
+        assert outcome.committed
+        assert outcome.consensus_rounds == 6  # prepare + finalise per shard
+
+    def test_any_no_aborts(self):
+        outcome = coordinator().execute([0, 1], votes=[True, False])
+        assert not outcome.committed
+
+    def test_atomicity_is_all_or_nothing(self):
+        """No partial commit state is representable: one boolean for all."""
+        for votes in ([True, True], [True, False], [False, False]):
+            outcome = coordinator().execute([0, 1], votes=votes)
+            assert outcome.committed == all(votes)
+
+    def test_duplicate_shards_collapsed(self):
+        outcome = coordinator().execute([1, 1, 2])
+        assert outcome.involved_shards == (1, 2)
+
+    def test_cross_costs_more_than_intra(self):
+        intra = coordinator().execute([0])
+        cross = coordinator().execute([0, 1])
+        assert cross.latency_seconds > intra.latency_seconds
+        assert cross.messages > intra.messages
+
+    def test_more_shards_more_messages(self):
+        two = coordinator().execute([0, 1])
+        three = coordinator().execute([0, 1, 2])
+        assert three.messages > two.messages
+
+    def test_empty_shard_set_rejected(self):
+        with pytest.raises(SimulationError):
+            coordinator().execute([])
+
+    def test_vote_count_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            coordinator().execute([0, 1], votes=[True])
+
+    def test_invalid_miner_count(self):
+        with pytest.raises(ParameterError):
+            CrossShardCoordinator(NetworkModel(), miners_per_shard=0)
+
+
+class TestEtaEstimation:
+    def test_eta_above_one(self):
+        eta = estimate_eta(NetworkModel(jitter_fraction=0.0), miners_per_shard=4)
+        assert eta > 1.0
+
+    def test_eta_in_papers_range_for_defaults(self):
+        """The paper sweeps eta in [2, 10]; defaults should land there."""
+        eta = estimate_eta(NetworkModel(jitter_fraction=0.0), miners_per_shard=10)
+        assert 1.5 <= eta <= 10.0
+
+    def test_hotstuff_eta_differs_from_pbft(self):
+        net = NetworkModel(jitter_fraction=0.0)
+        assert estimate_eta(net, 10, "pbft") != estimate_eta(net, 10, "hotstuff")

@@ -1,0 +1,83 @@
+"""Determinism guarantees (paper Section IV-A).
+
+Every allocator must produce byte-identical output for identical input —
+that is what lets miners skip an extra consensus round on the allocation.
+"""
+
+import pytest
+
+from repro.baselines import hash_partition, metis_partition, shard_scheduler_partition
+from repro.core.gtxallo import g_txallo
+from repro.core.louvain import louvain_partition
+from repro.core.params import TxAlloParams
+from repro.data.synthetic import EthereumWorkloadGenerator, WorkloadConfig, account_sets
+from repro.core.graph import TransactionGraph
+
+
+def fresh_graph(seed=42):
+    config = WorkloadConfig(num_accounts=500, num_transactions=3000, seed=seed)
+    sets_ = account_sets(EthereumWorkloadGenerator(config).generate())
+    graph = TransactionGraph()
+    for s in sets_:
+        graph.add_transaction(s)
+    return graph, sets_
+
+
+class TestEndToEndDeterminism:
+    def test_gtxallo_identical_across_processes_worth_of_state(self):
+        params = TxAlloParams.with_capacity_for(3000, k=6, eta=2.0)
+        g1, _ = fresh_graph()
+        g2, _ = fresh_graph()
+        assert (
+            g_txallo(g1, params).allocation.mapping()
+            == g_txallo(g2, params).allocation.mapping()
+        )
+
+    def test_louvain_identical(self):
+        g1, _ = fresh_graph()
+        g2, _ = fresh_graph()
+        assert louvain_partition(g1) == louvain_partition(g2)
+
+    def test_metis_identical(self):
+        g1, _ = fresh_graph()
+        g2, _ = fresh_graph()
+        assert metis_partition(g1, 6).mapping == metis_partition(g2, 6).mapping
+
+    def test_scheduler_identical(self):
+        _, s1 = fresh_graph()
+        _, s2 = fresh_graph()
+        params = TxAlloParams.with_capacity_for(3000, k=6)
+        assert (
+            shard_scheduler_partition(s1, params).mapping
+            == shard_scheduler_partition(s2, params).mapping
+        )
+
+    def test_hash_identical(self):
+        g1, _ = fresh_graph()
+        assert hash_partition(g1.nodes_sorted(), 6) == hash_partition(
+            g1.nodes_sorted(), 6
+        )
+
+    def test_insertion_order_does_not_matter_for_gtxallo(self):
+        """G-TxAllo sweeps in sorted order, so the order in which the
+        graph was built must not change the result."""
+        params = TxAlloParams.with_capacity_for(3000, k=4, eta=2.0)
+        _, sets_ = fresh_graph()
+        forward = TransactionGraph()
+        for s in sets_:
+            forward.add_transaction(s)
+        backward = TransactionGraph()
+        for s in reversed(sets_):
+            backward.add_transaction(s)
+        assert (
+            g_txallo(forward, params).allocation.mapping()
+            == g_txallo(backward, params).allocation.mapping()
+        )
+
+    def test_eta_changes_result_but_stays_deterministic(self):
+        g1, _ = fresh_graph()
+        m = {}
+        for eta in (2.0, 8.0):
+            params = TxAlloParams.with_capacity_for(3000, k=6, eta=eta)
+            m[eta] = g_txallo(g1, params).allocation.mapping()
+            assert m[eta] == g_txallo(g1, params).allocation.mapping()

@@ -1,0 +1,241 @@
+"""Unit tests for the transaction graph (Definition 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import TransactionGraph, pair_count
+from repro.errors import GraphError, TransactionError
+
+
+class TestPairCount:
+    def test_single_account_is_one_self_loop(self):
+        assert pair_count(1) == 1
+
+    def test_pair(self):
+        assert pair_count(2) == 1
+
+    def test_triple(self):
+        assert pair_count(3) == 3
+
+    def test_five_accounts(self):
+        assert pair_count(5) == 10
+
+    def test_matches_combination_formula(self):
+        for n in range(2, 12):
+            assert pair_count(n) == math.comb(n, 2)
+
+    def test_zero_accounts_rejected(self):
+        with pytest.raises(TransactionError):
+            pair_count(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(TransactionError):
+            pair_count(-3)
+
+
+class TestEdgeConstruction:
+    def test_simple_transfer_adds_unit_edge(self):
+        g = TransactionGraph()
+        g.add_transaction(("a", "b"))
+        assert g.edge_weight("a", "b") == pytest.approx(1.0)
+        assert g.edge_weight("b", "a") == pytest.approx(1.0)
+
+    def test_weights_accumulate_over_transactions(self):
+        g = TransactionGraph()
+        g.add_transaction(("a", "b"))
+        g.add_transaction(("a", "b"))
+        g.add_transaction(("b", "a"))
+        assert g.edge_weight("a", "b") == pytest.approx(3.0)
+
+    def test_direction_is_ignored(self):
+        g = TransactionGraph()
+        g.add_transaction(("a", "b"))
+        h = TransactionGraph()
+        h.add_transaction(("b", "a"))
+        assert g.edge_weight("a", "b") == h.edge_weight("a", "b")
+
+    def test_multi_account_transaction_splits_weight(self):
+        g = TransactionGraph()
+        g.add_transaction(("a", "b", "c"))
+        for u, v in [("a", "b"), ("a", "c"), ("b", "c")]:
+            assert g.edge_weight(u, v) == pytest.approx(1.0 / 3.0)
+
+    def test_multi_account_weight_sums_to_one(self):
+        g = TransactionGraph()
+        g.add_transaction(("a", "b", "c", "d", "e"))
+        assert g.total_weight == pytest.approx(1.0)
+
+    def test_duplicate_accounts_collapse(self):
+        g = TransactionGraph()
+        g.add_transaction(("a", "b", "a", "b"))
+        assert g.edge_weight("a", "b") == pytest.approx(1.0)
+
+    def test_self_loop_gets_full_weight(self):
+        g = TransactionGraph()
+        g.add_transaction(("a",))
+        assert g.self_loop("a") == pytest.approx(1.0)
+
+    def test_self_loop_counts_once_in_total_weight(self):
+        g = TransactionGraph()
+        g.add_transaction(("a",))
+        g.add_transaction(("a", "b"))
+        assert g.total_weight == pytest.approx(2.0)
+
+    def test_empty_transaction_rejected(self):
+        g = TransactionGraph()
+        with pytest.raises(TransactionError):
+            g.add_transaction(())
+
+    def test_zero_weight_edge_rejected(self):
+        g = TransactionGraph()
+        with pytest.raises(GraphError):
+            g.add_edge("a", "b", 0.0)
+
+    def test_negative_weight_edge_rejected(self):
+        g = TransactionGraph()
+        with pytest.raises(GraphError):
+            g.add_edge("a", "b", -1.0)
+
+    def test_add_transactions_bulk(self):
+        g = TransactionGraph()
+        g.add_transactions([("a", "b"), ("b", "c")])
+        assert g.num_transactions == 2
+
+
+class TestQueries:
+    def test_contains_and_len(self):
+        g = TransactionGraph()
+        g.add_transaction(("a", "b"))
+        assert "a" in g and "b" in g and "c" not in g
+        assert len(g) == 2
+
+    def test_num_edges_counts_distinct_pairs(self):
+        g = TransactionGraph()
+        g.add_transaction(("a", "b"))
+        g.add_transaction(("a", "b"))
+        g.add_transaction(("a",))
+        assert g.num_edges == 2  # pair + self-loop
+
+    def test_unknown_node_neighbourhood_raises(self):
+        g = TransactionGraph()
+        with pytest.raises(GraphError):
+            g.neighbours("ghost")
+
+    def test_edge_weight_missing_is_zero(self):
+        g = TransactionGraph()
+        g.add_transaction(("a", "b"))
+        assert g.edge_weight("a", "zzz") == 0.0
+        assert g.edge_weight("zzz", "a") == 0.0
+
+    def test_external_strength_excludes_self_loop(self):
+        g = TransactionGraph()
+        g.add_transaction(("a", "b"))
+        g.add_transaction(("a",))
+        assert g.external_strength("a") == pytest.approx(1.0)
+        assert g.strength("a") == pytest.approx(2.0)
+
+    def test_degree(self):
+        g = TransactionGraph()
+        g.add_transaction(("a", "b"))
+        g.add_transaction(("a", "c"))
+        g.add_transaction(("a",))
+        assert g.degree("a") == 3  # b, c, and the loop
+
+    def test_nodes_sorted(self):
+        g = TransactionGraph()
+        g.add_transaction(("z", "a"))
+        g.add_transaction(("m", "a"))
+        assert g.nodes_sorted() == ["a", "m", "z"]
+
+    def test_nodes_insertion_order(self):
+        g = TransactionGraph()
+        g.add_transaction(("b", "a"))  # sorted inside a tx: a first
+        g.add_transaction(("c", "a"))
+        assert list(g.nodes()) == ["a", "b", "c"]
+
+    def test_edges_yields_each_pair_once(self):
+        g = TransactionGraph()
+        g.add_transaction(("a", "b"))
+        g.add_transaction(("b", "c"))
+        g.add_transaction(("a",))
+        edges = list(g.edges())
+        assert len(edges) == 3
+        total = sum(w for _, _, w in edges)
+        assert total == pytest.approx(g.total_weight)
+
+    def test_subgraph_weight(self):
+        g = TransactionGraph()
+        g.add_transaction(("a", "b"))
+        g.add_transaction(("b", "c"))
+        g.add_transaction(("a",))
+        assert g.subgraph_weight({"a", "b"}) == pytest.approx(2.0)
+        assert g.subgraph_weight({"a", "b", "c"}) == pytest.approx(3.0)
+        assert g.subgraph_weight({"c"}) == pytest.approx(0.0)
+
+    def test_copy_is_independent(self):
+        g = TransactionGraph()
+        g.add_transaction(("a", "b"))
+        h = g.copy()
+        h.add_transaction(("a", "c"))
+        assert "c" not in g
+        assert g.num_transactions == 1
+        assert h.num_transactions == 2
+
+    def test_degree_histogram_covers_all_nodes(self, clustered_graph):
+        hist = clustered_graph.degree_histogram()
+        assert sum(count for _, count in hist) == clustered_graph.num_nodes
+
+    def test_degree_histogram_empty_graph(self):
+        assert TransactionGraph().degree_histogram() == []
+
+
+class TestInvariantsProperty:
+    @given(
+        txs=st.lists(
+            st.lists(st.integers(0, 20).map(lambda i: f"a{i}"), min_size=1, max_size=5),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_weight_equals_transaction_count(self, txs):
+        g = TransactionGraph()
+        for accounts in txs:
+            g.add_transaction(accounts)
+        assert g.total_weight == pytest.approx(len(txs))
+
+    @given(
+        txs=st.lists(
+            st.lists(st.integers(0, 15).map(lambda i: f"a{i}"), min_size=1, max_size=4),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_strength_sum_is_twice_pairs_plus_loops(self, txs):
+        g = TransactionGraph()
+        for accounts in txs:
+            g.add_transaction(accounts)
+        loops = sum(g.self_loop(v) for v in g.nodes())
+        strengths = sum(g.external_strength(v) for v in g.nodes())
+        # Each pair edge is counted from both endpoints.
+        assert strengths / 2.0 + loops == pytest.approx(g.total_weight)
+
+    @given(
+        txs=st.lists(
+            st.lists(st.integers(0, 15).map(lambda i: f"a{i}"), min_size=1, max_size=4),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_edges_iteration_consistent_with_adjacency(self, txs):
+        g = TransactionGraph()
+        for accounts in txs:
+            g.add_transaction(accounts)
+        for u, v, w in g.edges():
+            assert g.edge_weight(u, v) == pytest.approx(w)
+            assert g.edge_weight(v, u) == pytest.approx(w)

@@ -1,0 +1,146 @@
+"""Tests for the ledger and the chronological mempool."""
+
+import pytest
+
+from repro.chain.ledger import Ledger
+from repro.chain.mempool import Mempool
+from repro.chain.types import Block, Transaction
+from repro.errors import LedgerError, SimulationError
+
+
+def make_block(height, parent="", n=2):
+    txs = tuple(
+        Transaction.transfer(f"s{height}_{i}", f"r{height}_{i}") for i in range(n)
+    )
+    return Block(height=height, transactions=txs, parent_hash=parent)
+
+
+def make_chain(n=4):
+    ledger = Ledger()
+    parent = ""
+    for h in range(n):
+        block = make_block(h, parent)
+        ledger.append(block)
+        parent = block.block_hash
+    return ledger
+
+
+class TestLedger:
+    def test_append_and_counters(self):
+        ledger = make_chain(3)
+        assert ledger.num_blocks == 3
+        assert ledger.num_transactions == 6
+        assert ledger.num_accounts == 12
+
+    def test_non_contiguous_rejected(self):
+        ledger = Ledger()
+        with pytest.raises(LedgerError):
+            ledger.append(make_block(5))
+
+    def test_bad_parent_rejected(self):
+        ledger = Ledger()
+        first = make_block(0)
+        ledger.append(first)
+        with pytest.raises(LedgerError):
+            ledger.append(make_block(1, parent="deadbeef"))
+
+    def test_blank_parent_tolerated(self):
+        ledger = Ledger()
+        ledger.append(make_block(0))
+        ledger.append(make_block(1, parent=""))
+        assert ledger.num_blocks == 2
+
+    def test_block_at(self):
+        ledger = make_chain(3)
+        assert ledger.block_at(1).height == 1
+        with pytest.raises(LedgerError):
+            ledger.block_at(99)
+
+    def test_blocks_in_window(self):
+        ledger = make_chain(5)
+        heights = [b.height for b in ledger.blocks_in(1, 4)]
+        assert heights == [1, 2, 3]
+
+    def test_window_clamped_to_range(self):
+        ledger = make_chain(3)
+        assert [b.height for b in ledger.blocks_in(-5, 99)] == [0, 1, 2]
+
+    def test_invalid_window(self):
+        ledger = make_chain(3)
+        with pytest.raises(LedgerError):
+            list(ledger.blocks_in(3, 1))
+
+    def test_transactions_in_order(self):
+        ledger = make_chain(2)
+        senders = [tx.inputs[0] for tx in ledger.transactions()]
+        assert senders == ["s0_0", "s0_1", "s1_0", "s1_1"]
+
+    def test_genesis_offset(self):
+        ledger = Ledger(genesis_height=100)
+        block = Block(height=100, transactions=(Transaction.transfer("a", "b"),))
+        ledger.append(block)
+        assert ledger.tip.height == 100
+        assert ledger.next_height == 101
+
+    def test_accounts_snapshot_is_copy(self):
+        ledger = make_chain(1)
+        snap = ledger.accounts()
+        snap.add("intruder")
+        assert "intruder" not in ledger.accounts()
+
+
+class TestMempool:
+    def tx(self, i):
+        return Transaction.transfer(f"s{i}", f"r{i}")
+
+    def test_fifo_order(self):
+        pool = Mempool()
+        pool.add(self.tx(1))
+        pool.add(self.tx(2))
+        drained = pool.drain(capacity=10.0)
+        assert [t.inputs[0] for t, _ in drained] == ["s1", "s2"]
+
+    def test_capacity_respected(self):
+        pool = Mempool()
+        for i in range(5):
+            pool.add(self.tx(i), cost=1.0)
+        drained = pool.drain(capacity=3.0)
+        assert len(drained) == 3
+        assert len(pool) == 2
+
+    def test_head_blocks_the_queue(self):
+        """Chronological rule: an expensive head is not skipped."""
+        pool = Mempool()
+        pool.add(self.tx(0), cost=5.0)
+        pool.add(self.tx(1), cost=1.0)
+        assert pool.drain(capacity=2.0) == []
+        assert len(pool) == 2
+
+    def test_pending_workload_tracked(self):
+        pool = Mempool()
+        pool.add(self.tx(0), cost=2.0)
+        pool.add(self.tx(1), cost=3.0)
+        assert pool.pending_workload == pytest.approx(5.0)
+        pool.drain(capacity=2.0)
+        assert pool.pending_workload == pytest.approx(3.0)
+
+    def test_peek(self):
+        pool = Mempool()
+        assert pool.peek() is None
+        pool.add(self.tx(9))
+        assert pool.peek().inputs[0] == "s9"
+
+    def test_invalid_cost(self):
+        pool = Mempool()
+        with pytest.raises(SimulationError):
+            pool.add(self.tx(0), cost=0.0)
+
+    def test_invalid_capacity(self):
+        pool = Mempool()
+        with pytest.raises(SimulationError):
+            pool.drain(capacity=-1.0)
+
+    def test_add_all(self):
+        pool = Mempool()
+        pool.add_all([self.tx(i) for i in range(4)])
+        assert len(pool) == 4

@@ -1,0 +1,182 @@
+"""Tests for the ethereum-etl loaders and the block stream."""
+
+import json
+
+import pytest
+
+from repro.chain.types import Block, Transaction
+from repro.data.loader import (
+    group_into_blocks,
+    load_transactions_csv,
+    load_transactions_jsonl,
+)
+from repro.data.stream import BlockStream
+from repro.errors import DataError
+
+CSV_HEADER = "hash,from_address,to_address,block_number\n"
+
+
+def write_csv(tmp_path, rows, header=CSV_HEADER):
+    path = tmp_path / "txs.csv"
+    path.write_text(header + "".join(rows))
+    return path
+
+
+class TestCsvLoader:
+    def test_basic_rows(self, tmp_path):
+        path = write_csv(
+            tmp_path,
+            ["0xh1,0xA,0xB,100\n", "0xh2,0xC,0xD,100\n", "0xh3,0xA,0xC,101\n"],
+        )
+        rows = list(load_transactions_csv(path))
+        assert len(rows) == 3
+        height, tx = rows[0]
+        assert height == 100
+        assert tx.inputs == ("0xa",) and tx.outputs == ("0xb",)
+        assert tx.tx_id == "0xh1"
+
+    def test_contract_creation_becomes_self_loop(self, tmp_path):
+        path = write_csv(tmp_path, ["0xh1,0xA,,100\n"])
+        _, tx = next(load_transactions_csv(path))
+        assert tx.is_self_loop
+
+    def test_missing_sender_rejected(self, tmp_path):
+        path = write_csv(tmp_path, ["0xh1,,0xB,100\n"])
+        with pytest.raises(DataError):
+            list(load_transactions_csv(path))
+
+    def test_bad_block_number_rejected(self, tmp_path):
+        path = write_csv(tmp_path, ["0xh1,0xA,0xB,xyz\n"])
+        with pytest.raises(DataError):
+            list(load_transactions_csv(path))
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = write_csv(tmp_path, ["0xh1,0xA\n"], header="hash,from_address\n")
+        with pytest.raises(DataError):
+            list(load_transactions_csv(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            list(load_transactions_csv(path))
+
+    def test_addresses_normalised_lowercase(self, tmp_path):
+        path = write_csv(tmp_path, ["0xh1,0xAB,0xCD,1\n"])
+        _, tx = next(load_transactions_csv(path))
+        assert tx.inputs == ("0xab",)
+
+
+class TestJsonlLoader:
+    def test_basic_rows(self, tmp_path):
+        path = tmp_path / "txs.jsonl"
+        rows = [
+            {"hash": "0x1", "from_address": "0xa", "to_address": "0xb", "block_number": 7},
+            {"hash": "0x2", "from_address": "0xc", "to_address": None, "block_number": 8},
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in rows) + "\n\n")
+        loaded = list(load_transactions_jsonl(path))
+        assert len(loaded) == 2
+        assert loaded[1][1].is_self_loop
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "txs.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(DataError):
+            list(load_transactions_jsonl(path))
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "txs.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(DataError):
+            list(load_transactions_jsonl(path))
+
+
+class TestGrouping:
+    def rows(self):
+        return [
+            (100, Transaction.transfer("a", "b")),
+            (100, Transaction.transfer("c", "d")),
+            (102, Transaction.transfer("a", "c")),
+        ]
+
+    def test_groups_by_height(self):
+        blocks = group_into_blocks(iter(self.rows()))
+        assert [len(b) for b in blocks] == [2, 1]
+        assert [b.height for b in blocks] == [0, 1]
+
+    def test_blocks_linked(self):
+        blocks = group_into_blocks(iter(self.rows()))
+        assert blocks[1].parent_hash == blocks[0].block_hash
+
+    def test_out_of_order_rejected(self):
+        rows = [
+            (100, Transaction.transfer("a", "b")),
+            (99, Transaction.transfer("c", "d")),
+        ]
+        with pytest.raises(DataError):
+            group_into_blocks(iter(rows))
+
+    def test_empty_input(self):
+        assert group_into_blocks(iter([])) == []
+
+
+def make_blocks(n=10, per_block=3):
+    blocks = []
+    parent = ""
+    for h in range(n):
+        txs = tuple(
+            Transaction.transfer(f"s{h}_{i}", f"r{h}_{i}") for i in range(per_block)
+        )
+        block = Block(height=h, transactions=txs, parent_hash=parent)
+        blocks.append(block)
+        parent = block.block_hash
+    return blocks
+
+
+class TestBlockStream:
+    def test_len_and_tx_count(self):
+        stream = BlockStream(make_blocks(10, 3))
+        assert len(stream) == 10
+        assert stream.num_transactions == 30
+
+    def test_out_of_order_rejected(self):
+        blocks = make_blocks(3)
+        with pytest.raises(DataError):
+            BlockStream([blocks[1], blocks[0]])
+
+    def test_split_ratio(self):
+        stream = BlockStream(make_blocks(10))
+        train, evaluation = stream.split(0.9)
+        assert len(train) == 9
+        assert len(evaluation) == 1
+
+    def test_split_never_empty_sides(self):
+        stream = BlockStream(make_blocks(2))
+        train, evaluation = stream.split(0.99)
+        assert len(train) == 1 and len(evaluation) == 1
+
+    def test_invalid_split(self):
+        stream = BlockStream(make_blocks(4))
+        with pytest.raises(DataError):
+            stream.split(1.5)
+
+    def test_windows(self):
+        stream = BlockStream(make_blocks(10))
+        windows = list(stream.windows(3))
+        assert [len(w) for w in windows] == [3, 3, 3, 1]
+
+    def test_invalid_window(self):
+        with pytest.raises(DataError):
+            list(BlockStream(make_blocks(3)).windows(0))
+
+    def test_slicing_returns_stream(self):
+        stream = BlockStream(make_blocks(10))
+        assert isinstance(stream[2:5], BlockStream)
+        assert len(stream[2:5]) == 3
+        assert stream[0].height == 0
+
+    def test_account_sets_sorted(self):
+        stream = BlockStream(make_blocks(2))
+        for accounts in stream.account_sets():
+            assert list(accounts) == sorted(accounts)

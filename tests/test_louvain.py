@@ -1,0 +1,135 @@
+"""Tests for the deterministic Louvain implementation."""
+
+import pytest
+
+from repro.core.graph import TransactionGraph
+from repro.core.louvain import louvain_partition, modularity
+from tests.conftest import make_random_graph
+
+
+def two_cliques(size=5, bridge_weight=1):
+    g = TransactionGraph()
+    left = [f"l{i}" for i in range(size)]
+    right = [f"r{i}" for i in range(size)]
+    for group in (left, right):
+        for i in range(size):
+            for j in range(i + 1, size):
+                g.add_transaction((group[i], group[j]))
+    for _ in range(bridge_weight):
+        g.add_transaction((left[0], right[0]))
+    return g, left, right
+
+
+class TestStructureRecovery:
+    def test_two_cliques_found(self):
+        g, left, right = two_cliques()
+        part = louvain_partition(g)
+        left_labels = {part[v] for v in left}
+        right_labels = {part[v] for v in right}
+        assert len(left_labels) == 1
+        assert len(right_labels) == 1
+        assert left_labels != right_labels
+
+    def test_labels_are_dense_from_zero(self):
+        g, _, _ = two_cliques()
+        labels = set(louvain_partition(g).values())
+        assert labels == set(range(len(labels)))
+
+    def test_single_clique_single_community(self):
+        g = TransactionGraph()
+        nodes = [f"n{i}" for i in range(6)]
+        for i in range(6):
+            for j in range(i + 1, 6):
+                g.add_transaction((nodes[i], nodes[j]))
+        assert len(set(louvain_partition(g).values())) == 1
+
+    def test_empty_graph(self):
+        assert louvain_partition(TransactionGraph()) == {}
+
+    def test_isolated_self_loop_node(self):
+        g = TransactionGraph()
+        g.add_transaction(("solo",))
+        g.add_transaction(("a", "b"))
+        part = louvain_partition(g)
+        assert part["solo"] != part["a"]
+
+    def test_all_nodes_labelled(self, clustered_graph):
+        part = louvain_partition(clustered_graph)
+        assert set(part) == set(clustered_graph.nodes())
+
+    def test_three_planted_groups_recovered(self):
+        g = make_random_graph(num_accounts=60, num_transactions=500, seed=3, groups=3)
+        part = louvain_partition(g)
+        # Group labels should be few (close to 3) and modularity positive.
+        assert len(set(part.values())) <= 8
+        assert modularity(g, part) > 0.3
+
+
+class TestDeterminism:
+    def test_same_graph_same_partition(self, clustered_graph):
+        p1 = louvain_partition(clustered_graph)
+        p2 = louvain_partition(clustered_graph)
+        assert p1 == p2
+
+    def test_rebuilt_graph_same_partition(self):
+        g1 = make_random_graph(seed=6)
+        g2 = make_random_graph(seed=6)
+        assert louvain_partition(g1) == louvain_partition(g2)
+
+    def test_copy_same_partition(self, clustered_graph):
+        assert louvain_partition(clustered_graph) == louvain_partition(
+            clustered_graph.copy()
+        )
+
+
+class TestModularity:
+    def test_single_community_modularity_zero(self):
+        g, _, _ = two_cliques()
+        part = {v: 0 for v in g.nodes()}
+        assert modularity(g, part) == pytest.approx(0.0, abs=1e-9)
+
+    def test_good_split_beats_trivial(self):
+        g, left, right = two_cliques()
+        split = {v: (0 if v.startswith("l") else 1) for v in g.nodes()}
+        trivial = {v: 0 for v in g.nodes()}
+        assert modularity(g, split) > modularity(g, trivial)
+
+    def test_louvain_partition_is_near_optimal_on_cliques(self):
+        g, left, right = two_cliques()
+        part = louvain_partition(g)
+        split = {v: (0 if v.startswith("l") else 1) for v in g.nodes()}
+        assert modularity(g, part) >= modularity(g, split) - 1e-9
+
+    def test_empty_graph_modularity(self):
+        assert modularity(TransactionGraph(), {}) == 0.0
+
+    def test_matches_networkx(self, clustered_graph):
+        """Cross-check modularity values against networkx."""
+        networkx = pytest.importorskip("networkx")
+        G = networkx.Graph()
+        for u, v, w in clustered_graph.edges():
+            if G.has_edge(u, v):
+                G[u][v]["weight"] += w
+            else:
+                G.add_edge(u, v, weight=w)
+        part = louvain_partition(clustered_graph)
+        groups = {}
+        for v, c in part.items():
+            groups.setdefault(c, set()).add(v)
+        expected = networkx.community.modularity(
+            G, list(groups.values()), weight="weight"
+        )
+        assert modularity(clustered_graph, part) == pytest.approx(expected, abs=1e-6)
+
+    def test_quality_competitive_with_networkx(self, clustered_graph):
+        networkx = pytest.importorskip("networkx")
+        G = networkx.Graph()
+        for u, v, w in clustered_graph.edges():
+            if G.has_edge(u, v):
+                G[u][v]["weight"] += w
+            else:
+                G.add_edge(u, v, weight=w)
+        ours = modularity(clustered_graph, louvain_partition(clustered_graph))
+        comms = networkx.community.louvain_communities(G, weight="weight", seed=7)
+        theirs = networkx.community.modularity(G, comms, weight="weight")
+        assert ours >= theirs - 0.05

@@ -1,0 +1,111 @@
+"""Tests for state-migration accounting (Section VII)."""
+
+import pytest
+
+from repro.chain.migration import (
+    DEFAULT_ACCOUNT_STATE_BYTES,
+    migration_plan,
+)
+from repro.errors import AllocationError, ParameterError
+
+
+OLD = {"a": 0, "b": 0, "c": 1, "d": 2}
+NEW = {"a": 0, "b": 1, "c": 1, "d": 0, "e": 2}
+
+
+class TestPlan:
+    def test_moves_detected(self):
+        plan = migration_plan(OLD, NEW, k=3)
+        moved = {(m.account, m.source, m.destination) for m in plan.moves}
+        assert moved == {("b", 0, 1), ("d", 2, 0)}
+
+    def test_new_accounts_are_not_migrations(self):
+        plan = migration_plan(OLD, NEW, k=3)
+        assert plan.new_accounts == ("e",)
+        assert plan.moved_count == 2
+
+    def test_churn_ratio(self):
+        plan = migration_plan(OLD, NEW, k=3)
+        assert plan.churn_ratio == pytest.approx(2 / 4)
+
+    def test_flows_balance(self):
+        plan = migration_plan(OLD, NEW, k=3)
+        assert sum(plan.inflow()) == sum(plan.outflow()) == plan.moved_count
+        assert plan.inflow() == [1, 1, 0]
+        assert plan.outflow() == [1, 0, 1]
+
+    def test_identity_update_is_free(self):
+        plan = migration_plan(OLD, OLD, k=3)
+        assert plan.moved_count == 0
+        assert plan.churn_ratio == 0.0
+
+    def test_vanishing_account_rejected(self):
+        with pytest.raises(AllocationError):
+            migration_plan(OLD, {"a": 0}, k=3)
+
+    def test_out_of_range_shard_rejected(self):
+        with pytest.raises(AllocationError):
+            migration_plan({"a": 0}, {"a": 9}, k=3)
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            migration_plan({}, {}, k=0)
+
+    def test_moves_deterministically_ordered(self):
+        plan = migration_plan(OLD, NEW, k=3)
+        accounts = [m.account for m in plan.moves]
+        assert accounts == sorted(accounts)
+
+
+class TestOverheadModel:
+    def test_type1_full_replication_is_free(self):
+        plan = migration_plan(OLD, NEW, k=3)
+        assert plan.storage_overhead_bytes(sharded_state=False) == 0
+
+    def test_type2_pays_storage_per_moved_account(self):
+        plan = migration_plan(OLD, NEW, k=3)
+        assert plan.storage_overhead_bytes(sharded_state=True) == (
+            2 * DEFAULT_ACCOUNT_STATE_BYTES
+        )
+
+    def test_custom_state_size(self):
+        plan = migration_plan(OLD, NEW, k=3)
+        assert plan.storage_overhead_bytes(True, account_state_bytes=1000) == 2000
+
+    def test_negative_state_size_rejected(self):
+        plan = migration_plan(OLD, NEW, k=3)
+        with pytest.raises(ParameterError):
+            plan.storage_overhead_bytes(True, account_state_bytes=-1)
+
+    def test_no_communication_overhead(self):
+        """Section VII's claim: reallocation costs storage, not messages."""
+        plan = migration_plan(OLD, NEW, k=3)
+        assert plan.communication_overhead_messages() == 0
+
+
+class TestEndToEnd:
+    def test_adaptive_update_has_low_churn(self, small_workload):
+        """A-TxAllo only moves touched accounts, so churn stays small."""
+        from repro.core.atxallo import a_txallo
+        from repro.core.gtxallo import g_txallo
+        from repro.core.params import TxAlloParams
+
+        graph = small_workload["graph"].copy()
+        params = TxAlloParams.with_capacity_for(
+            len(small_workload["sets"]), k=6, eta=2.0
+        )
+        alloc = g_txallo(graph, params).allocation
+        before = alloc.mapping()
+        import random
+
+        rng = random.Random(3)
+        nodes = list(graph.nodes())
+        touched = set()
+        for _ in range(50):
+            accounts = tuple(rng.sample(nodes, 2))
+            graph.add_transaction(accounts)
+            alloc.ingest_transaction(accounts)
+            touched.update(accounts)
+        a_txallo(alloc, touched)
+        plan = migration_plan(before, alloc.mapping(), k=6)
+        assert plan.churn_ratio < 0.05

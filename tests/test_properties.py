@@ -1,0 +1,168 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These encode the model-level invariants that must hold for *any* input,
+tying together graph, allocation, metrics and algorithms:
+
+* conservation — total throughput never exceeds total workload demand or
+  total capacity; γ ∈ [0, 1]; latencies ≥ 1;
+* optimisation safety — G-TxAllo never returns an allocation worse than
+  its initialisation, for arbitrary workloads and hyperparameters;
+* model consistency — the graph-level σ of an all-pairwise workload
+  equals the transaction-level σ;
+* determinism — any deterministic allocator is a pure function of its
+  input.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.hash_allocation import hash_partition
+from repro.core.allocation import Allocation
+from repro.core.graph import TransactionGraph
+from repro.core.gtxallo import g_txallo
+from repro.core.metrics import evaluate_allocation
+from repro.core.params import TxAlloParams
+
+# Strategy: a small random workload of 1-4 account transactions.
+accounts_strategy = st.integers(0, 24).map(lambda i: f"a{i:02d}")
+tx_strategy = st.lists(accounts_strategy, min_size=1, max_size=4).map(
+    lambda accs: tuple(sorted(set(accs)))
+)
+workload_strategy = st.lists(tx_strategy, min_size=3, max_size=80)
+
+
+def graph_of(workload):
+    graph = TransactionGraph()
+    for accounts in workload:
+        graph.add_transaction(accounts)
+    return graph
+
+
+class TestConservationLaws:
+    @given(workload=workload_strategy, k=st.integers(1, 6),
+           eta=st.floats(1.0, 8.0))
+    @settings(max_examples=60, deadline=None)
+    def test_throughput_bounded_by_demand_and_capacity(self, workload, k, eta):
+        params = TxAlloParams.with_capacity_for(len(workload), k=k, eta=eta)
+        mapping = hash_partition({a for tx in workload for a in tx}, k)
+        report = evaluate_allocation(workload, mapping, params)
+        assert report.throughput <= len(workload) + 1e-9          # demand
+        assert report.throughput <= params.lam * k + 1e-9         # capacity
+        assert 0.0 <= report.cross_shard_ratio <= 1.0
+        assert report.average_latency >= 1.0
+        assert report.worst_case_latency >= 1.0
+
+    @given(workload=workload_strategy, k=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_uncapped_throughput_equals_demand_when_all_intra(self, workload, k):
+        """Putting everything in one shard with infinite capacity
+        processes every transaction fully."""
+        params = TxAlloParams(k=k, eta=2.0)  # lam = inf
+        mapping = {a: 0 for tx in workload for a in tx}
+        report = evaluate_allocation(workload, mapping, params)
+        assert report.throughput == pytest.approx(len(workload))
+        assert report.cross_shard_ratio == 0.0
+
+    @given(workload=workload_strategy, eta=st.floats(1.0, 8.0))
+    @settings(max_examples=40, deadline=None)
+    def test_workload_grows_with_eta(self, workload, eta):
+        """Raising eta can only increase every shard's workload."""
+        k = 3
+        mapping = hash_partition({a for tx in workload for a in tx}, k)
+        low = evaluate_allocation(
+            workload, mapping, TxAlloParams(k=k, eta=1.0, lam=1e9)
+        )
+        high = evaluate_allocation(
+            workload, mapping, TxAlloParams(k=k, eta=eta, lam=1e9)
+        )
+        for s_low, s_high in zip(low.shard_workloads, high.shard_workloads):
+            assert s_high >= s_low - 1e-9
+
+
+class TestOptimisationSafety:
+    @given(
+        workload=workload_strategy,
+        k=st.integers(1, 5),
+        eta=st.floats(1.0, 6.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_gtxallo_never_worse_than_hash_init(self, workload, k, eta):
+        graph = graph_of(workload)
+        params = TxAlloParams.with_capacity_for(len(workload), k=k, eta=eta)
+        init = hash_partition(graph.nodes_sorted(), k)
+        baseline = Allocation.from_partition(graph, params, init)
+        result = g_txallo(graph, params, initial_partition=init)
+        result.allocation.validate()
+        assert (
+            result.allocation.total_throughput()
+            >= baseline.total_throughput() - 1e-9
+        )
+
+    @given(workload=workload_strategy, k=st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_gtxallo_output_always_well_formed(self, workload, k):
+        graph = graph_of(workload)
+        params = TxAlloParams.with_capacity_for(len(workload), k=k, eta=2.0)
+        mapping = g_txallo(graph, params).allocation.mapping()
+        assert set(mapping) == set(graph.nodes())          # completeness
+        assert set(mapping.values()) <= set(range(k))      # range
+
+
+class TestModelConsistency:
+    @given(
+        workload=st.lists(
+            st.tuples(accounts_strategy, accounts_strategy), min_size=1, max_size=60
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_graph_and_tx_sigma_agree_for_pairwise_workloads(self, workload):
+        """For 1-in-1-out transactions, Eq. 5 equals the tx-level sigma."""
+        from repro.core.metrics import graph_shard_workloads
+
+        sets_ = [tuple(sorted(set(pair))) for pair in workload]
+        graph = graph_of(sets_)
+        params = TxAlloParams(k=3, eta=2.0, lam=1e9)
+        mapping = hash_partition(graph.nodes_sorted(), 3)
+        graph_sigma = graph_shard_workloads(graph, mapping, params)
+        tx_sigma = evaluate_allocation(sets_, mapping, params).shard_workloads
+        assert graph_sigma == pytest.approx(list(tx_sigma))
+
+    @given(workload=workload_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_simulator_gamma_matches_analytic(self, workload):
+        from repro.chain.simulator import simulate_allocation
+        from repro.chain.types import Transaction
+
+        params = TxAlloParams(k=3, eta=2.0, lam=1e9)
+        mapping = hash_partition({a for tx in workload for a in tx}, 3)
+        txs = [
+            Transaction(inputs=(accs[0],), outputs=tuple(accs))
+            for accs in workload
+        ]
+        analytic = evaluate_allocation(workload, mapping, params)
+        simulated = simulate_allocation(txs, mapping, params)
+        assert simulated.cross_shard_ratio == pytest.approx(
+            analytic.cross_shard_ratio
+        )
+
+
+class TestDeterminismProperty:
+    @given(workload=workload_strategy, k=st.integers(1, 5),
+           eta=st.floats(1.0, 6.0))
+    @settings(max_examples=20, deadline=None)
+    def test_gtxallo_is_a_pure_function(self, workload, k, eta):
+        params = TxAlloParams.with_capacity_for(len(workload), k=k, eta=eta)
+        m1 = g_txallo(graph_of(workload), params).allocation.mapping()
+        m2 = g_txallo(graph_of(workload), params).allocation.mapping()
+        assert m1 == m2
+
+    @given(workload=workload_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_digest_is_input_determined(self, workload):
+        from repro.core.persistence import allocation_digest
+
+        params = TxAlloParams.with_capacity_for(len(workload), k=3, eta=2.0)
+        d1 = allocation_digest(g_txallo(graph_of(workload), params).allocation.mapping())
+        d2 = allocation_digest(g_txallo(graph_of(workload), params).allocation.mapping())
+        assert d1 == d2

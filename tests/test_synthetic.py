@@ -1,0 +1,154 @@
+"""Tests for the synthetic Ethereum workload generator."""
+
+import pytest
+
+from repro.data.synthetic import (
+    EthereumWorkloadGenerator,
+    WorkloadConfig,
+    account_sets,
+)
+from repro.errors import ParameterError
+
+
+def small_config(**overrides):
+    base = dict(num_accounts=600, num_transactions=4000, seed=3)
+    base.update(overrides)
+    return WorkloadConfig(**base)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_accounts", 1),
+            ("num_transactions", 0),
+            ("block_size", 0),
+            ("hub_share", 1.0),
+            ("community_affinity", 1.5),
+            ("self_loop_rate", -0.1),
+            ("multi_io_rate", 1.0),
+            ("multi_io_max", 2),
+            ("hub_periphery_fraction", 0.95),
+            ("hub_periphery_affinity", 2.0),
+        ],
+    )
+    def test_invalid_field_rejected(self, field, value):
+        with pytest.raises(ParameterError):
+            WorkloadConfig(**{field: value})
+
+    def test_auto_communities(self):
+        assert WorkloadConfig(num_accounts=3000).resolved_communities() == 40
+        assert WorkloadConfig(num_accounts=100).resolved_communities() == 8
+        assert WorkloadConfig(num_communities=5).resolved_communities() == 5
+
+
+class TestGeneration:
+    def test_transaction_count(self):
+        gen = EthereumWorkloadGenerator(small_config())
+        assert len(gen.generate()) == 4000
+
+    def test_deterministic(self):
+        g1 = EthereumWorkloadGenerator(small_config()).generate()
+        g2 = EthereumWorkloadGenerator(small_config()).generate()
+        assert [t.tx_id for t in g1] == [t.tx_id for t in g2]
+
+    def test_seed_changes_stream(self):
+        g1 = EthereumWorkloadGenerator(small_config(seed=1)).generate()
+        g2 = EthereumWorkloadGenerator(small_config(seed=2)).generate()
+        assert [t.tx_id for t in g1] != [t.tx_id for t in g2]
+
+    def test_lazy_iteration_matches_generate(self):
+        gen = EthereumWorkloadGenerator(small_config())
+        assert [t.tx_id for t in gen.transactions()] == [
+            t.tx_id for t in gen.generate()
+        ]
+
+    def test_every_community_nonempty(self):
+        gen = EthereumWorkloadGenerator(small_config())
+        for community, members in gen.members.items():
+            assert members, f"community {community} is empty"
+
+    def test_blocks_linked_and_sized(self):
+        gen = EthereumWorkloadGenerator(small_config(block_size=100))
+        blocks = list(gen.blocks())
+        assert len(blocks) == 40
+        for i in range(1, len(blocks)):
+            assert blocks[i].parent_hash == blocks[i - 1].block_hash
+            assert blocks[i].height == i
+        assert all(len(b) == 100 for b in blocks)
+
+    def test_partial_last_block(self):
+        gen = EthereumWorkloadGenerator(
+            small_config(num_transactions=4050, block_size=100)
+        )
+        blocks = list(gen.blocks())
+        assert len(blocks) == 41
+        assert len(blocks[-1]) == 50
+
+
+class TestStructuralFacts:
+    """The generator must reproduce the paper's dataset facts (§VI-A)."""
+
+    @pytest.fixture(scope="class")
+    def card(self):
+        gen = EthereumWorkloadGenerator(small_config(num_transactions=8000))
+        return gen.dataset_card()
+
+    def test_hub_share_close_to_target(self, card):
+        assert 0.08 <= card.top_account_share <= 0.16
+
+    def test_self_loops_present(self, card):
+        assert 0.003 <= card.self_loop_ratio <= 0.03
+
+    def test_multi_io_present(self, card):
+        assert 0.02 <= card.multi_io_ratio <= 0.10
+
+    def test_long_tail(self):
+        gen = EthereumWorkloadGenerator(small_config(num_transactions=8000))
+        txs = gen.generate()
+        counts = {}
+        for tx in txs:
+            for a in tx.accounts:
+                counts[a] = counts.get(a, 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        # Median activity is tiny compared to the top account.
+        median = ranked[len(ranked) // 2]
+        assert ranked[0] > 20 * median
+
+    def test_hub_is_most_active(self):
+        gen = EthereumWorkloadGenerator(small_config(num_transactions=8000))
+        txs = gen.generate()
+        counts = {}
+        for tx in txs:
+            for a in tx.accounts:
+                counts[a] = counts.get(a, 0) + 1
+        top = max(counts, key=lambda a: counts[a])
+        assert top == gen.hub
+
+    def test_community_structure_detectable(self):
+        from repro.core.graph import TransactionGraph
+        from repro.core.louvain import louvain_partition, modularity
+
+        gen = EthereumWorkloadGenerator(small_config(num_transactions=8000))
+        graph = TransactionGraph()
+        for s in account_sets(gen.generate()):
+            graph.add_transaction(s)
+        part = louvain_partition(graph)
+        assert modularity(graph, part) > 0.3
+
+    def test_dataset_card_accepts_external_stream(self):
+        gen = EthereumWorkloadGenerator(small_config())
+        txs = gen.generate()[:100]
+        card = gen.dataset_card(txs)
+        assert card.num_transactions == 100
+
+
+class TestAccountSets:
+    def test_sorted_tuples(self):
+        gen = EthereumWorkloadGenerator(small_config(num_transactions=50))
+        for accounts in account_sets(gen.generate()):
+            assert list(accounts) == sorted(accounts)
+            assert len(set(accounts)) == len(accounts)

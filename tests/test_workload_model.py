@@ -1,0 +1,134 @@
+"""Tests for the fine-grained workload models (Section III-A extension)."""
+
+import pytest
+
+from repro.chain.types import Transaction
+from repro.core.metrics import evaluate_allocation
+from repro.core.params import TxAlloParams
+from repro.core.workload_model import (
+    RoleAwareModel,
+    ShardRole,
+    UniformEta,
+    effective_eta,
+    evaluate_with_model,
+    shard_roles,
+)
+from repro.errors import AllocationError, ParameterError
+
+MAPPING = {"a": 0, "b": 0, "c": 1, "d": 2}
+
+
+class TestShardRoles:
+    def test_intra_is_sole(self):
+        tx = Transaction(inputs=("a",), outputs=("b",))
+        assert shard_roles(tx, MAPPING) == {0: ShardRole.SOLE}
+
+    def test_input_output_split(self):
+        tx = Transaction(inputs=("a",), outputs=("c",))
+        roles = shard_roles(tx, MAPPING)
+        assert roles == {0: ShardRole.INPUT, 1: ShardRole.OUTPUT}
+
+    def test_both_role(self):
+        tx = Transaction(inputs=("a",), outputs=("b", "c"))
+        roles = shard_roles(tx, MAPPING)
+        assert roles[0] == ShardRole.BOTH  # holds input a and output b
+        assert roles[1] == ShardRole.OUTPUT
+
+    def test_three_way(self):
+        tx = Transaction(inputs=("a",), outputs=("c", "d"))
+        roles = shard_roles(tx, MAPPING)
+        assert roles == {
+            0: ShardRole.INPUT,
+            1: ShardRole.OUTPUT,
+            2: ShardRole.OUTPUT,
+        }
+
+    def test_unknown_account(self):
+        tx = Transaction(inputs=("ghost",), outputs=("a",))
+        with pytest.raises(AllocationError):
+            shard_roles(tx, MAPPING)
+
+
+class TestModels:
+    def test_uniform_eta_costs(self):
+        model = UniformEta(3.0)
+        assert model.cost(ShardRole.SOLE, 2) == 1.0
+        assert model.cost(ShardRole.INPUT, 2) == 3.0
+        assert model.cost(ShardRole.BOTH, 5) == 3.0
+
+    def test_uniform_eta_validation(self):
+        with pytest.raises(ParameterError):
+            UniformEta(0.5)
+
+    def test_role_aware_orders_roles(self):
+        model = RoleAwareModel(input_eta=3.0, output_eta=1.5)
+        assert model.cost(ShardRole.INPUT, 2) > model.cost(ShardRole.OUTPUT, 2)
+        assert model.cost(ShardRole.BOTH, 2) == 3.0
+
+    def test_fanout_surcharge(self):
+        model = RoleAwareModel(fanout_surcharge=0.5)
+        assert model.cost(ShardRole.SOLE, 4) == pytest.approx(2.0)
+        assert model.cost(ShardRole.SOLE, 2) == pytest.approx(1.0)
+
+    def test_role_aware_validation(self):
+        with pytest.raises(ParameterError):
+            RoleAwareModel(input_eta=0.5)
+        with pytest.raises(ParameterError):
+            RoleAwareModel(fanout_surcharge=-1.0)
+
+    def test_effective_eta(self):
+        model = RoleAwareModel(input_eta=3.0, output_eta=1.0, fanout_surcharge=0.0)
+        assert effective_eta(model) == pytest.approx(2.0)
+
+
+class TestEvaluateWithModel:
+    def txs(self):
+        return [
+            Transaction(inputs=("a",), outputs=("b",)),   # intra shard 0
+            Transaction(inputs=("a",), outputs=("c",)),   # cross 0->1
+            Transaction(inputs=("c",), outputs=("d",)),   # cross 1->2
+            Transaction(inputs=("d",), outputs=("d",)),   # self-loop shard 2
+        ]
+
+    def test_uniform_model_matches_plain_evaluator(self):
+        params = TxAlloParams(k=3, eta=2.0, lam=10.0)
+        with_model = evaluate_with_model(
+            self.txs(), MAPPING, params, UniformEta(params.eta)
+        )
+        plain = evaluate_allocation(
+            [tuple(sorted(tx.accounts)) for tx in self.txs()], MAPPING, params
+        )
+        assert with_model == plain
+
+    def test_role_aware_shifts_workload_not_gamma(self):
+        params = TxAlloParams(k=3, eta=2.0, lam=10.0)
+        uniform = evaluate_with_model(self.txs(), MAPPING, params, UniformEta(2.0))
+        aware = evaluate_with_model(
+            self.txs(), MAPPING, params,
+            RoleAwareModel(input_eta=4.0, output_eta=1.0, fanout_surcharge=0.0),
+        )
+        assert aware.cross_shard_ratio == uniform.cross_shard_ratio
+        assert aware.shard_workloads != uniform.shard_workloads
+
+    def test_output_shard_cheaper_under_role_model(self):
+        params = TxAlloParams(k=3, eta=2.0, lam=10.0)
+        txs = [Transaction(inputs=("a",), outputs=("c",))]
+        report = evaluate_with_model(
+            txs, MAPPING, params,
+            RoleAwareModel(input_eta=4.0, output_eta=1.5, fanout_surcharge=0.0),
+        )
+        assert report.shard_workloads[0] == pytest.approx(4.0)
+        assert report.shard_workloads[1] == pytest.approx(1.5)
+
+    def test_throughput_credit_unchanged_by_model(self):
+        """The model prices workload, not throughput shares (1/mu)."""
+        params = TxAlloParams(k=3, eta=2.0, lam=1e9)
+        txs = self.txs()
+        uniform = evaluate_with_model(txs, MAPPING, params, UniformEta(2.0))
+        aware = evaluate_with_model(txs, MAPPING, params, RoleAwareModel())
+        assert uniform.throughput == pytest.approx(aware.throughput)
+
+    def test_empty_stream(self):
+        params = TxAlloParams(k=3, eta=2.0, lam=10.0)
+        report = evaluate_with_model([], MAPPING, params, UniformEta(2.0))
+        assert report.num_transactions == 0
