@@ -1,0 +1,115 @@
+"""Engine speedup run-table: reference vs flat-array ``g_txallo``.
+
+Times the *paper's evaluation pattern* — the Fig. 8 running-time grid,
+i.e. ``g_txallo`` end-to-end for every ``(k, eta)`` cell over one shared
+workload — on both backends, asserts byte-identical outputs cell by
+cell, and writes ``BENCH_engine.json`` next to this file so subsequent
+PRs have a perf trajectory to gate against:
+
+``{"scale", "n_nodes", "n_edges", "ref_seconds", "fast_seconds",
+"speedup", ...}``
+
+``ref_seconds`` / ``fast_seconds`` are the grid totals (the fast backend
+legitimately amortises one freeze + one memoised Louvain partition across
+the grid, exactly as ``experiments.sweep`` does); ``single_*`` fields
+record one cold/warm ``k=20`` call for the pessimistic view.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.gtxallo import g_txallo
+from repro.core.params import TxAlloParams
+from repro.eval import experiments
+
+BENCH_SCALE = float(os.environ.get("BENCH_SCALE", "0.5"))
+
+#: The Fig. 8 grid as the rest of the benchmark suite runs it
+#: (``conftest.BENCH_KS`` x ``conftest.BENCH_ETAS``).
+GRID_KS = (2, 10, 20, 40, 60)
+GRID_ETAS = (2.0, 6.0, 10.0)
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
+
+
+def _run_grid(workload, backend):
+    total = 0.0
+    results = {}
+    for eta in GRID_ETAS:
+        for k in GRID_KS:
+            params = TxAlloParams.with_capacity_for(
+                workload.num_transactions, k=k, eta=eta, backend=backend
+            )
+            t0 = time.perf_counter()
+            result = g_txallo(workload.graph, params)
+            total += time.perf_counter() - t0
+            results[(k, eta)] = result
+    return total, results
+
+
+def test_engine_speedup_run_table():
+    # Fresh workloads per backend so neither run can warm the other's
+    # graph-level caches.
+    wl_ref = experiments.build_workload(scale=BENCH_SCALE, seed=2022)
+    wl_fast = experiments.build_workload(scale=BENCH_SCALE, seed=2022)
+
+    ref_seconds, ref_results = _run_grid(wl_ref, "reference")
+    fast_seconds, fast_results = _run_grid(wl_fast, "fast")
+
+    # Parity across the whole grid — same mapping, caches and counters.
+    for cell, ref in ref_results.items():
+        fast = fast_results[cell]
+        assert ref.allocation.mapping() == fast.allocation.mapping(), cell
+        assert ref.allocation.sigma == fast.allocation.sigma, cell
+        assert ref.allocation.lam_hat == fast.allocation.lam_hat, cell
+        assert (ref.sweeps, ref.moves, ref.small_nodes_absorbed) == (
+            fast.sweeps,
+            fast.moves,
+            fast.small_nodes_absorbed,
+        ), cell
+
+    # One extra cold + warm single call at the paper's headline setting.
+    wl_single = experiments.build_workload(scale=BENCH_SCALE, seed=2022)
+    params = TxAlloParams.with_capacity_for(
+        wl_single.num_transactions, k=20, eta=2.0, backend="fast"
+    )
+    t0 = time.perf_counter()
+    g_txallo(wl_single.graph, params)
+    single_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    g_txallo(wl_single.graph, params)
+    single_warm = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    g_txallo(wl_ref.graph, params, backend="reference")
+    single_ref = time.perf_counter() - t0
+
+    speedup = ref_seconds / fast_seconds if fast_seconds > 0 else float("inf")
+    payload = {
+        "scale": BENCH_SCALE,
+        "n_nodes": wl_ref.graph.num_nodes,
+        "n_edges": wl_ref.graph.num_edges,
+        "n_transactions": wl_ref.num_transactions,
+        "grid_ks": list(GRID_KS),
+        "grid_etas": list(GRID_ETAS),
+        "ref_seconds": ref_seconds,
+        "fast_seconds": fast_seconds,
+        "speedup": speedup,
+        "single_ref_seconds": single_ref,
+        "single_cold_seconds": single_cold,
+        "single_warm_seconds": single_warm,
+        "single_cold_speedup": single_ref / single_cold if single_cold > 0 else None,
+        "single_warm_speedup": single_ref / single_warm if single_warm > 0 else None,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(f"== engine speedup (scale={BENCH_SCALE}) ==")
+    for key, value in payload.items():
+        print(f"  {key}: {value}")
+
+    # The perf gate of this PR: >= 3x end-to-end on the evaluation grid
+    # at the default BENCH_SCALE=0.5 (small margin for timer noise).
+    assert speedup >= 3.0, f"engine speedup regressed: {speedup:.2f}x < 3x"

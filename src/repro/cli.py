@@ -76,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--steps", type=int, default=0,
         help="max adaptive steps for fig9/fig10 (0 = all windows)",
     )
+    parser.add_argument(
+        "--backend", choices=["fast", "reference"], default="fast",
+        help="TxAllo engine: 'fast' (flat-array CSR sweep engine) or "
+             "'reference' (dict-based executable spec); outputs are "
+             "byte-identical (default fast)",
+    )
     return parser
 
 
@@ -93,23 +99,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if figure == "fig1":
             print(experiments.figure1(workload).render())
         elif figure == "fig4":
-            print(experiments.figure4(workload, k=args.k, eta=args.eta).render())
+            print(
+                experiments.figure4(
+                    workload, k=args.k, eta=args.eta, backend=args.backend
+                ).render()
+            )
         elif figure == "fig9":
             print(
                 experiments.figure9(
                     workload, k=args.k, eta=args.eta,
                     gaps=args.gaps, max_steps=args.steps,
+                    backend=args.backend,
                 ).render()
             )
         elif figure == "fig10":
             print(
                 experiments.figure10(
-                    workload, k=args.k, eta=args.eta, max_steps=args.steps
+                    workload, k=args.k, eta=args.eta, max_steps=args.steps,
+                    backend=args.backend,
                 ).render()
             )
         else:
             if records is None:
-                records = experiments.sweep(workload, ks=ks, etas=etas)
+                records = experiments.sweep(
+                    workload, ks=ks, etas=etas, backend=args.backend
+                )
             print(_SWEEP_FIGURES[figure](records).render())
         print()
     return 0

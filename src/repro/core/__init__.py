@@ -8,6 +8,7 @@ from repro.core.forecast import (
 )
 from repro.core.atxallo import ATxAlloResult, a_txallo
 from repro.core.controller import TxAlloController, UpdateEvent
+from repro.core.csr import CSRGraph
 from repro.core.graph import Node, TransactionGraph, pair_count
 from repro.core.gtxallo import GTxAlloResult, g_txallo
 from repro.core.louvain import louvain_partition, modularity
@@ -45,6 +46,7 @@ from repro.core.params import TxAlloParams
 __all__ = [
     "Allocation",
     "AllocationCheckpoint",
+    "CSRGraph",
     "DecayingTransactionGraph",
     "RoleAwareModel",
     "ShardRole",

@@ -104,8 +104,40 @@ class Allocation:
         alloc._recompute_caches()
         return alloc
 
-    def _recompute_caches(self) -> None:
-        """O(E) rebuild of ``sigma`` and ``lam_hat`` from the graph."""
+    @classmethod
+    def _from_compiled(
+        cls,
+        graph: TransactionGraph,
+        params: TxAlloParams,
+        mapping: Dict[Node, int],
+        sigma: List[float],
+        lam_hat: List[float],
+    ) -> "Allocation":
+        """Adopt the state produced by the flat sweep engine.
+
+        ``mapping`` must cover every graph node with communities in
+        ``[0, len(sigma))`` and ``sigma`` / ``lam_hat`` must be the caches
+        the engine maintained for exactly that mapping — the engine's
+        parity contract (see :mod:`repro.core.engine`) guarantees both.
+        """
+        alloc = cls(graph, params, len(sigma))
+        shard_of = alloc._shard_of
+        members = alloc.members
+        for v, c in mapping.items():
+            shard_of[v] = c
+            members[c].add(v)
+        alloc.sigma = list(sigma)
+        alloc.lam_hat = list(lam_hat)
+        return alloc
+
+    def recompute(self) -> Tuple[List[float], List[float]]:
+        """Return freshly computed ``(sigma, lam_hat)`` — side-effect free.
+
+        One O(E) pass over the graph; the allocation's own caches are
+        left untouched.  Used by tests and by :meth:`validate` to check
+        cache integrity, and by :meth:`_recompute_caches` to install the
+        result.
+        """
         eta = self.params.eta
         n = len(self.sigma)
         intra = [0.0] * n
@@ -125,20 +157,13 @@ class Allocation:
                     cut[iu] += w
                 if iv is not None:
                     cut[iv] += w
-        for i in range(n):
-            self.sigma[i] = intra[i] + eta * cut[i]
-            self.lam_hat[i] = intra[i] + cut[i] / 2.0
+        sigma = [intra[i] + eta * cut[i] for i in range(n)]
+        lam_hat = [intra[i] + cut[i] / 2.0 for i in range(n)]
+        return sigma, lam_hat
 
-    def recompute(self) -> Tuple[List[float], List[float]]:
-        """Return freshly recomputed ``(sigma, lam_hat)`` without mutating.
-
-        Used by tests and by :meth:`validate` to check cache integrity.
-        """
-        saved_sigma, saved_lam = self.sigma[:], self.lam_hat[:]
-        self._recompute_caches()
-        fresh = (self.sigma, self.lam_hat)
-        self.sigma, self.lam_hat = saved_sigma, saved_lam
-        return fresh
+    def _recompute_caches(self) -> None:
+        """Install a fresh O(E) rebuild of ``sigma`` and ``lam_hat``."""
+        self.sigma, self.lam_hat = self.recompute()
 
     # ------------------------------------------------------------------
     # Lookup

@@ -23,11 +23,12 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from repro.core.allocation import Allocation
 from repro.core.graph import Node
 from repro.core.objective import GainComputer
+from repro.errors import ParameterError
 
 #: Safety bound on optimisation sweeps (converges much earlier in practice).
 MAX_SWEEPS = 100
@@ -50,16 +51,38 @@ def a_txallo(
     touched: Iterable[Node],
     *,
     epsilon: float = None,
+    backend: Optional[str] = None,
 ) -> ATxAlloResult:
     """Run Algorithm 2 in place on ``alloc`` for the touched node set ``V̂``.
 
     ``touched`` is the set of accounts appearing in the newly committed
     blocks; unknown accounts among them are allocated first.  ``epsilon``
     defaults to the allocation's configured threshold.
+
+    ``backend`` overrides ``alloc.params.backend``: ``"fast"`` snapshots
+    the touched neighbourhoods into flat arrays once and sweeps on those
+    (:mod:`repro.core.engine`), ``"reference"`` rescans the dict adjacency
+    every sweep.  Both mutate ``alloc`` byte-identically.
     """
     t0 = time.perf_counter()
     if epsilon is None:
         epsilon = alloc.params.epsilon
+    if backend is None:
+        backend = alloc.params.backend
+    if backend == "fast":
+        from repro.core.engine import a_txallo_flat
+
+        new_nodes, swept, sweeps, moves = a_txallo_flat(alloc, touched, epsilon)
+        return ATxAlloResult(
+            allocation=alloc,
+            new_nodes=new_nodes,
+            swept_nodes=swept,
+            sweeps=sweeps,
+            moves=moves,
+            seconds=time.perf_counter() - t0,
+        )
+    if backend != "reference":
+        raise ParameterError(f"unknown a_txallo backend {backend!r}")
     k = alloc.params.k
     gains = GainComputer(alloc)
 

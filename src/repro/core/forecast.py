@@ -75,6 +75,10 @@ class DecayingTransactionGraph(TransactionGraph):
         self._windows_advanced += 1
         if self.decay == 1.0:
             return 0
+        # This mutates the adjacency outside add_node/add_edge, so any
+        # frozen CSR snapshot (TransactionGraph.freeze) must be
+        # invalidated or the fast backend would run on pre-decay weights.
+        self._version += 1
         pruned = 0
         for v, row in self._adj.items():
             doomed = []

@@ -7,23 +7,43 @@ whose accounts collapse to a single address (e.g. an Ethereum
 self-replacement transaction) becomes a *self-loop* of weight 1.
 
 The graph is undirected and weighted, stored as a dict-of-dicts adjacency
-structure so that neighbourhood scans — the hot path of both TxAllo sweeps
-and of the Louvain initialisation — are plain dictionary iterations.
+structure optimised for *ingest*: accumulating a new transaction's pair
+weights is a handful of dict updates.
+
+Ingest/freeze lifecycle
+-----------------------
+The allocation hot paths (Louvain initialisation, G-TxAllo optimisation
+sweeps) do not run on the dict form — scanning string-keyed dicts per node
+per sweep pays Python string hashing and per-node dict construction.  They
+run on the *frozen* form instead: :meth:`TransactionGraph.freeze` interns
+account strings to dense integer ids and lowers the adjacency into flat
+CSR arrays (:class:`repro.core.csr.CSRGraph`), which the flat-array sweep
+engine (:mod:`repro.core.engine`) consumes.  The two forms are linked by a
+version counter: every mutation (``add_node`` / ``add_edge`` /
+``add_transaction``) bumps the version, and ``freeze()`` returns a cached
+snapshot while the version is unchanged, so repeated allocator runs over a
+quiescent graph freeze exactly once.  The frozen snapshot preserves the
+dict rows' iteration order, which keeps every float accumulation in the
+fast engine bit-identical to the reference dict-based scans.
 
 Determinism
 -----------
 ``nodes()`` and ``neighbours()`` iterate in *insertion order* which, for a
 ledger replay, is the chronological account-appearance order — a canonical
 order every miner can reproduce (paper Section IV-A).  ``nodes_sorted()``
-gives an explicitly sorted order when insertion order is not meaningful.
+gives an explicitly sorted order when insertion order is not meaningful;
+the frozen form assigns integer ids in that sorted order.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import GraphError, TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.csr import CSRGraph
 
 #: Type alias for account identifiers.  Any hashable, totally-orderable value
 #: works; the chain substrate uses hex address strings.
@@ -52,7 +72,14 @@ class TransactionGraph:
     both endpoints.
     """
 
-    __slots__ = ("_adj", "_total_weight", "_num_edges", "_num_transactions")
+    __slots__ = (
+        "_adj",
+        "_total_weight",
+        "_num_edges",
+        "_num_transactions",
+        "_version",
+        "_frozen",
+    )
 
     def __init__(self) -> None:
         self._adj: Dict[Node, Dict[Node, float]] = {}
@@ -62,6 +89,9 @@ class TransactionGraph:
         self._total_weight: float = 0.0
         self._num_edges: int = 0
         self._num_transactions: int = 0
+        # Mutation counter + cached (version, CSRGraph) frozen snapshot.
+        self._version: int = 0
+        self._frozen: Optional[Tuple[int, "CSRGraph"]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -70,6 +100,7 @@ class TransactionGraph:
         """Ensure ``v`` exists (isolated nodes are permitted)."""
         if v not in self._adj:
             self._adj[v] = {}
+            self._version += 1
 
     def add_edge(self, u: Node, v: Node, weight: float) -> None:
         """Accumulate ``weight`` on the undirected edge ``{u, v}``.
@@ -92,6 +123,7 @@ class TransactionGraph:
                 self._adj[v][u] = weight
             self._num_edges += 1
         self._total_weight += weight
+        self._version += 1
 
     def add_transaction(self, accounts: Iterable[Node]) -> None:
         """Ingest one transaction per Definition 2.
@@ -202,8 +234,15 @@ class TransactionGraph:
     def edges(self) -> Iterator[Tuple[Node, Node, float]]:
         """Yield each undirected edge exactly once as ``(u, v, w)``.
 
-        Self-loops are yielded as ``(v, v, w)``.  Pair edges are oriented so
-        the endpoint that was inserted first comes first.
+        Self-loops are yielded as ``(v, v, w)``.  Pair edges are oriented
+        with the earlier-*inserted* endpoint first: the outer loop walks
+        nodes in insertion order and ``seen`` holds exactly the nodes
+        already walked, so a pair ``{u, v}`` is emitted at its
+        earlier-inserted endpoint (the later one is still missing from
+        ``seen``) and skipped at the later one.  A regression test pins
+        this orientation; the frozen CSR form relies on it to replay
+        edge-ordered passes bit-identically (see ``ins_rank`` in
+        :class:`repro.core.csr.CSRGraph`).
         """
         seen: set = set()
         for u, row in self._adj.items():
@@ -213,6 +252,32 @@ class TransactionGraph:
                 elif v not in seen:
                     yield u, v, w
             seen.add(u)
+
+    # ------------------------------------------------------------------
+    # Frozen (compiled) view
+    # ------------------------------------------------------------------
+    def freeze(self) -> "CSRGraph":
+        """Compile the graph into its flat CSR form for the sweep engine.
+
+        Returns a :class:`repro.core.csr.CSRGraph` snapshot: account
+        strings interned to dense integer ids (sorted-identifier order)
+        and adjacency lowered into flat index/neighbour/weight arrays plus
+        per-node self-loop and strength vectors.  The snapshot is cached
+        against an internal mutation counter — freezing an unchanged
+        graph returns the same object, so back-to-back allocator runs
+        (e.g. a (k, eta) parameter sweep) pay the O(N + E) lowering once.
+
+        The snapshot is immutable and detached: mutating the graph
+        afterwards does not touch it, it only invalidates the cache.
+        """
+        from repro.core.csr import CSRGraph
+
+        frozen = self._frozen
+        if frozen is not None and frozen[0] == self._version:
+            return frozen[1]
+        csr = CSRGraph.from_graph(self)
+        self._frozen = (self._version, csr)
+        return csr
 
     # ------------------------------------------------------------------
     # Derived views

@@ -16,6 +16,12 @@ Two phases over the full transaction graph:
 
 Complexity: ``O(N log N)`` for the initialisation plus ``O(N k)`` per sweep
 (Section V-B).  Every step is deterministic given the graph content.
+
+This module holds the dict-based *reference* implementation — the
+executable specification.  The default ``backend="fast"`` dispatches to
+the flat-array sweep engine (:mod:`repro.core.engine`), which runs the
+same algorithm on the frozen CSR graph and is byte-identical by
+construction (pinned by ``tests/test_engine_parity.py``).
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from repro.core.graph import Node, TransactionGraph
 from repro.core.louvain import louvain_partition
 from repro.core.objective import GainComputer
 from repro.core.params import TxAlloParams
+from repro.errors import ParameterError
 
 #: Safety bound on optimisation sweeps; the paper's ε criterion converges
 #: far earlier on every workload we have seen.
@@ -58,6 +65,7 @@ def g_txallo(
     *,
     initial_partition: Optional[Dict[Node, int]] = None,
     node_order: Optional[Sequence[Node]] = None,
+    backend: Optional[str] = None,
 ) -> GTxAlloResult:
     """Run Algorithm 1 and return the converged k-shard allocation.
 
@@ -65,10 +73,37 @@ def g_txallo(
     initialisation ablation benchmark); it may contain any number of
     communities.  ``node_order`` fixes the sweep order; the default is the
     sorted account order, mirroring the paper's hash-derived ordering.
+
+    ``backend`` overrides ``params.backend``: ``"fast"`` runs the
+    flat-array sweep engine over the frozen CSR graph
+    (:mod:`repro.core.engine`), ``"reference"`` runs the dict-based
+    implementation in this module.  Both produce byte-identical
+    allocations — same mapping, same caches, same sweep/move counts —
+    pinned by ``tests/test_engine_parity.py``.
     """
+    if backend is None:
+        backend = params.backend
+    if backend == "fast":
+        from repro.core.engine import g_txallo_flat
+
+        alloc, num_louvain, num_small, sweeps, moves, t_init, t_opt = g_txallo_flat(
+            graph, params, initial_partition=initial_partition, node_order=node_order
+        )
+        return GTxAlloResult(
+            allocation=alloc,
+            louvain_communities=num_louvain,
+            small_nodes_absorbed=num_small,
+            sweeps=sweeps,
+            moves=moves,
+            init_seconds=t_init,
+            optimise_seconds=t_opt,
+        )
+
+    if backend != "reference":
+        raise ParameterError(f"unknown g_txallo backend {backend!r}")
     t0 = time.perf_counter()
     if initial_partition is None:
-        partition = louvain_partition(graph)
+        partition = louvain_partition(graph, backend="reference")
     else:
         partition = dict(initial_partition)
     alloc, num_small = _initialise(graph, params, partition)

@@ -32,6 +32,7 @@ def louvain_partition(
     graph: TransactionGraph,
     max_levels: int = 32,
     resolution: float = 1.0,
+    backend: str = "fast",
 ) -> Dict[Node, int]:
     """Partition ``graph`` into communities by modularity maximisation.
 
@@ -41,7 +42,18 @@ def louvain_partition(
 
     ``resolution`` is the standard resolution parameter (1.0 reproduces
     plain modularity); ``max_levels`` bounds the aggregation recursion.
+
+    ``backend="fast"`` (the default) runs the flat-array implementation
+    over the frozen CSR graph (:mod:`repro.core.engine`);
+    ``backend="reference"`` runs the dict-based implementation below.
+    The two are bit-identical — ``tests/test_engine_parity.py`` pins it.
     """
+    if backend == "fast":
+        from repro.core.engine import louvain_fast
+
+        return louvain_fast(graph, max_levels=max_levels, resolution=resolution)
+    if backend != "reference":
+        raise ValueError(f"unknown louvain backend {backend!r}")
     nodes = graph.nodes_sorted()
     if not nodes:
         return {}
@@ -117,17 +129,26 @@ def _one_level(
                 nbr_comm[c] = nbr_comm.get(c, 0.0) + w
             # Remove i from its community for the evaluation.
             comm_tot[c_old] -= k[i]
+            norm = resolution * k[i] / two_m
             w_old = nbr_comm.get(c_old, 0.0)
-            base = w_old - resolution * comm_tot[c_old] * k[i] / two_m
-            best_c = c_old
-            best_gain = base
-            for c in sorted(nbr_comm):
+            base = w_old - comm_tot[c_old] * norm
+            # Deterministic min-index scan: an exact (gain, -index) argmax
+            # over the neighbouring communities — no sorted() needed, the
+            # exact comparison breaks ties toward the smallest label
+            # independently of iteration order.  The node moves only when
+            # the winner strictly improves on staying put.
+            cand_c = -1
+            cand_gain = 0.0
+            for c, w_c in nbr_comm.items():
                 if c == c_old:
                     continue
-                gain = nbr_comm[c] - resolution * comm_tot[c] * k[i] / two_m
-                if gain > best_gain + _MIN_GAIN:
-                    best_gain = gain
-                    best_c = c
+                gain = w_c - comm_tot[c] * norm
+                if cand_c < 0 or gain > cand_gain or (gain == cand_gain and c < cand_c):
+                    cand_gain = gain
+                    cand_c = c
+            best_c = c_old
+            if cand_c >= 0 and cand_gain > base + _MIN_GAIN:
+                best_c = cand_c
             community[i] = best_c
             comm_tot[best_c] += k[i]
             if best_c != c_old:

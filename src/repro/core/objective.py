@@ -17,6 +17,14 @@ using the closed-form deltas of Section V-B:
 
 Ties between equally good destinations break toward the smallest community
 index, keeping the whole scheme deterministic (paper Section IV-A).
+
+.. warning::
+   This module is the *executable specification* for the flat-array sweep
+   engine (:mod:`repro.core.engine`), which inlines every formula below —
+   with the same operand order and parenthesisation, because the parity
+   tests require bit-identical floats.  If you change an expression here,
+   change the engine's inlined copy in lockstep (and vice versa);
+   ``tests/test_engine_parity.py`` will catch any drift.
 """
 
 from __future__ import annotations

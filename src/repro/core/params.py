@@ -12,6 +12,14 @@ The paper exposes six hyperparameters:
   evaluation uses ``ε = 1e-5 * |T|``.
 * ``tau1``   — adaptive (A-TxAllo) update period, in blocks.
 * ``tau2``   — global (G-TxAllo) update period, in blocks (``tau1 < tau2``).
+
+One implementation knob rides along:
+
+* ``backend`` — ``"fast"`` (default) runs the allocators on the flat-array
+  sweep engine over the frozen CSR graph (:mod:`repro.core.engine`);
+  ``"reference"`` runs the dict-based executable specification.  The two
+  produce byte-identical allocations (pinned by the engine parity tests),
+  so the switch only trades speed for readability/debuggability.
 """
 
 from __future__ import annotations
@@ -23,6 +31,9 @@ from repro.errors import ParameterError
 
 #: Relative convergence threshold used by the paper: ``ε = 1e-5 * |T|``.
 EPSILON_RATIO = 1e-5
+
+#: Valid allocation-engine backends.
+BACKENDS = ("fast", "reference")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -42,6 +53,7 @@ class TxAlloParams:
     epsilon: float = 1e-9
     tau1: int = 300
     tau2: int = 6000
+    backend: str = "fast"
 
     def __post_init__(self) -> None:
         if not isinstance(self.k, int) or self.k < 1:
@@ -60,6 +72,10 @@ class TxAlloParams:
             raise ParameterError(
                 f"adaptive period tau1 ({self.tau1}) must not exceed global period tau2 ({self.tau2})"
             )
+        if self.backend not in BACKENDS:
+            raise ParameterError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
 
     @classmethod
     def with_capacity_for(
@@ -69,6 +85,7 @@ class TxAlloParams:
         eta: float = 2.0,
         tau1: int = 300,
         tau2: int = 6000,
+        backend: str = "fast",
     ) -> "TxAlloParams":
         """Build parameters using the paper's evaluation conventions.
 
@@ -85,6 +102,7 @@ class TxAlloParams:
             epsilon=EPSILON_RATIO * num_transactions,
             tau1=tau1,
             tau2=tau2,
+            backend=backend,
         )
 
     def replace(self, **changes) -> "TxAlloParams":

@@ -61,6 +61,7 @@ def save_allocation(
             "epsilon": params.epsilon,
             "tau1": params.tau1,
             "tau2": params.tau2,
+            "backend": params.backend,
         },
         "mapping": {str(a): int(s) for a, s in sorted(mapping.items())},
     }
@@ -90,6 +91,9 @@ def load_allocation(path) -> Tuple[Dict[str, int], TxAlloParams, int]:
             epsilon=float(raw["epsilon"]),
             tau1=int(raw["tau1"]),
             tau2=int(raw["tau2"]),
+            # Checkpoints written before the engine switch carry no
+            # backend; the result is the same either way, so default fast.
+            backend=str(raw.get("backend", "fast")),
         )
         height = int(payload.get("block_height", 0))
         recorded = payload["digest"]

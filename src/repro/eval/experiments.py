@@ -216,14 +216,20 @@ def sweep(
     ks: Sequence[int] = DEFAULT_KS,
     etas: Sequence[float] = DEFAULT_ETAS,
     methods: Sequence[str] = METHODS,
+    backend: str = "fast",
 ) -> List[MethodMetrics]:
-    """The full (method x k x eta) grid behind Figs. 2, 3, 5, 6, 7, 8."""
+    """The full (method x k x eta) grid behind Figs. 2, 3, 5, 6, 7, 8.
+
+    ``backend`` selects the TxAllo engine; with ``"fast"`` the whole grid
+    shares one frozen CSR graph and one memoised Louvain partition, which
+    is where most of the engine's end-to-end win comes from.
+    """
     cache = _MappingCache()
     records: List[MethodMetrics] = []
     for eta in etas:
         for k in ks:
             params = TxAlloParams.with_capacity_for(
-                workload.num_transactions, k=k, eta=eta
+                workload.num_transactions, k=k, eta=eta, backend=backend
             )
             for method in methods:
                 records.append(run_method(method, workload, params, cache))
@@ -406,8 +412,11 @@ def figure4(
     k: int = 20,
     eta: float = 2.0,
     methods: Sequence[str] = METHODS,
+    backend: str = "fast",
 ) -> Figure4Report:
-    params = TxAlloParams.with_capacity_for(workload.num_transactions, k=k, eta=eta)
+    params = TxAlloParams.with_capacity_for(
+        workload.num_transactions, k=k, eta=eta, backend=backend
+    )
     cache = _MappingCache()
     distributions = {
         METHOD_LABELS[m]: run_method(m, workload, params, cache).normalized_workloads
@@ -531,6 +540,7 @@ def figure9(
     window_blocks: int = 0,
     split_ratio: float = 0.9,
     max_steps: int = 0,
+    backend: str = "fast",
 ) -> Figure9Report:
     """Fig. 9: A-TxAllo throughput evolution for several global gaps.
 
@@ -545,7 +555,9 @@ def figure9(
     if max_steps > 0:
         windows = windows[:max_steps]
 
-    params = TxAlloParams.with_capacity_for(train.num_transactions, k=k, eta=eta)
+    params = TxAlloParams.with_capacity_for(
+        train.num_transactions, k=k, eta=eta, backend=backend
+    )
     train_graph = TransactionGraph()
     for s in train.account_sets():
         train_graph.add_transaction(s)
@@ -602,6 +614,7 @@ def figure10(
     window_blocks: int = 0,
     split_ratio: float = 0.9,
     max_steps: int = 0,
+    backend: str = "fast",
 ) -> Figure10Report:
     """Fig. 10: runtime of pure-global vs. hybrid updating (τ₂ = gap·τ₁)."""
     report = figure9(
@@ -612,6 +625,7 @@ def figure10(
         window_blocks=window_blocks,
         split_ratio=split_ratio,
         max_steps=max_steps,
+        backend=backend,
     )
     return Figure10Report(
         pure=report.runs["Global Method"],

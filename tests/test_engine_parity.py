@@ -1,0 +1,240 @@
+"""Parity property tests: flat-array engine vs reference, byte for byte.
+
+The ``backend="fast"`` engine (:mod:`repro.core.engine`) is only allowed
+to exist because it is *indistinguishable* from the dict-based reference
+path: same mapping, same ``sigma`` / ``lam_hat`` floats (exact ``==``, no
+tolerance), same sweep/move counters.  These tests pin that contract
+across randomised synthetic workloads, shard counts and eta values, for
+all three hot paths — Louvain, G-TxAllo and A-TxAllo — plus cache
+integrity after long ingest + move sequences on the engine-produced
+allocation.
+"""
+
+import random
+
+import pytest
+
+from repro.core.atxallo import a_txallo
+from repro.core.graph import TransactionGraph
+from repro.core.gtxallo import g_txallo
+from repro.core.louvain import louvain_partition
+from repro.core.params import TxAlloParams
+from repro.data.synthetic import EthereumWorkloadGenerator, WorkloadConfig, account_sets
+from tests.conftest import make_random_graph
+
+SEEDS = (1, 2, 3)
+KS = (2, 5, 8)
+ETAS = (1.0, 2.0, 6.0)
+
+
+def synthetic_graph(seed, num_accounts=400, num_transactions=2500):
+    config = WorkloadConfig(
+        num_accounts=num_accounts, num_transactions=num_transactions, seed=seed
+    )
+    sets_ = account_sets(EthereumWorkloadGenerator(config).generate())
+    graph = TransactionGraph()
+    for s in sets_:
+        graph.add_transaction(s)
+    return graph, sets_
+
+
+def assert_gtxallo_identical(ref, fast):
+    assert ref.allocation.mapping() == fast.allocation.mapping()
+    assert ref.allocation.sigma == fast.allocation.sigma          # exact floats
+    assert ref.allocation.lam_hat == fast.allocation.lam_hat      # exact floats
+    assert ref.sweeps == fast.sweeps
+    assert ref.moves == fast.moves
+    assert ref.small_nodes_absorbed == fast.small_nodes_absorbed
+    assert ref.louvain_communities == fast.louvain_communities
+
+
+class TestLouvainParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_graphs(self, seed):
+        g = make_random_graph(num_accounts=70, num_transactions=600, seed=seed, groups=4)
+        assert louvain_partition(g, backend="reference") == louvain_partition(
+            g, backend="fast"
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_synthetic_workloads(self, seed):
+        g, _ = synthetic_graph(seed)
+        assert louvain_partition(g, backend="reference") == louvain_partition(
+            g, backend="fast"
+        )
+
+    def test_edge_cases(self):
+        empty = TransactionGraph()
+        assert louvain_partition(empty, backend="fast") == {}
+
+        solo = TransactionGraph()
+        solo.add_transaction(("only",))
+        assert louvain_partition(solo, backend="fast") == louvain_partition(
+            solo, backend="reference"
+        )
+
+        isolated = TransactionGraph()
+        isolated.add_transaction(("a", "b"))
+        isolated.add_node("island")
+        assert louvain_partition(isolated, backend="fast") == louvain_partition(
+            isolated, backend="reference"
+        )
+
+    def test_memoised_partition_is_a_fresh_copy(self):
+        g = make_random_graph(seed=5)
+        p1 = louvain_partition(g, backend="fast")
+        p2 = louvain_partition(g, backend="fast")
+        assert p1 == p2
+        # Mutating a served copy must not poison the memo.
+        p1[next(iter(p1))] = 10**6
+        assert louvain_partition(g, backend="fast") == p2
+
+
+class TestGTxAlloParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("k", KS)
+    @pytest.mark.parametrize("eta", ETAS)
+    def test_random_graph_grid(self, seed, k, eta):
+        g = make_random_graph(num_accounts=70, num_transactions=600, seed=seed, groups=4)
+        params = TxAlloParams.with_capacity_for(600, k=k, eta=eta)
+        ref = g_txallo(g, params, backend="reference")
+        fast = g_txallo(g, params, backend="fast")
+        assert_gtxallo_identical(ref, fast)
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_synthetic_workload(self, seed):
+        g, sets_ = synthetic_graph(seed)
+        params = TxAlloParams.with_capacity_for(len(sets_), k=6, eta=2.0)
+        assert_gtxallo_identical(
+            g_txallo(g, params, backend="reference"),
+            g_txallo(g, params, backend="fast"),
+        )
+
+    def test_explicit_initial_partition(self):
+        g = make_random_graph(seed=9)
+        params = TxAlloParams.with_capacity_for(400, k=4, eta=2.0)
+        rng = random.Random(0)
+        init = {v: rng.randrange(7) for v in g.nodes()}
+        assert_gtxallo_identical(
+            g_txallo(g, params, initial_partition=init, backend="reference"),
+            g_txallo(g, params, initial_partition=init, backend="fast"),
+        )
+
+    def test_custom_node_order(self):
+        g = make_random_graph(seed=10)
+        params = TxAlloParams.with_capacity_for(400, k=4, eta=2.0)
+        order = list(reversed(g.nodes_sorted()))
+        assert_gtxallo_identical(
+            g_txallo(g, params, node_order=order, backend="reference"),
+            g_txallo(g, params, node_order=order, backend="fast"),
+        )
+
+    def test_more_shards_than_communities(self):
+        g = TransactionGraph()
+        for pair in [("a", "b"), ("b", "c"), ("a", "c")]:
+            g.add_transaction(pair)
+        params = TxAlloParams.with_capacity_for(3, k=5, eta=2.0)
+        assert_gtxallo_identical(
+            g_txallo(g, params, backend="reference"),
+            g_txallo(g, params, backend="fast"),
+        )
+
+    def test_empty_graph(self):
+        params = TxAlloParams.with_capacity_for(1, k=3, eta=2.0)
+        assert_gtxallo_identical(
+            g_txallo(TransactionGraph(), params, backend="reference"),
+            g_txallo(TransactionGraph(), params, backend="fast"),
+        )
+
+    def test_infinite_capacity(self):
+        g = make_random_graph(seed=4)
+        params = TxAlloParams(k=4, eta=2.0)  # lam = inf
+        assert_gtxallo_identical(
+            g_txallo(g, params, backend="reference"),
+            g_txallo(g, params, backend="fast"),
+        )
+
+
+def _ingest(graph, alloc, txs):
+    touched = set()
+    for accounts in txs:
+        unique = set(accounts)
+        graph.add_transaction(unique)
+        alloc.ingest_transaction(unique)
+        touched.update(unique)
+    return touched
+
+
+def _atxallo_state(seed, k, backend, rounds=3):
+    """Prepare + evolve one allocation under the given backend."""
+    g = make_random_graph(num_accounts=80, num_transactions=500, seed=seed, groups=4)
+    params = TxAlloParams.with_capacity_for(500, k=k, eta=2.0, backend=backend)
+    alloc = g_txallo(g, params).allocation
+    rng = random.Random(seed)
+    stats = []
+    for round_ in range(rounds):
+        nodes = list(g.nodes())
+        txs = [tuple(rng.sample(nodes, 2)) for _ in range(40)]
+        txs += [(f"new{round_}_{i}", rng.choice(nodes)) for i in range(5)]
+        txs.append((f"lonely{round_}",))
+        touched = _ingest(g, alloc, txs)
+        result = a_txallo(alloc, touched)
+        stats.append(
+            (result.new_nodes, result.swept_nodes, result.sweeps, result.moves)
+        )
+    return alloc, stats
+
+
+class TestATxAlloParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("k", (2, 6))
+    def test_evolving_allocation(self, seed, k):
+        ref_alloc, ref_stats = _atxallo_state(seed, k, "reference")
+        fast_alloc, fast_stats = _atxallo_state(seed, k, "fast")
+        assert ref_stats == fast_stats
+        assert ref_alloc.mapping() == fast_alloc.mapping()
+        assert ref_alloc.sigma == fast_alloc.sigma
+        assert ref_alloc.lam_hat == fast_alloc.lam_hat
+
+    def test_caches_exact_after_long_ingest_move_sequences(self):
+        """validate(check_caches=True) on the engine-driven allocation."""
+        alloc, _ = _atxallo_state(7, 4, "fast", rounds=6)
+        alloc.validate(check_caches=True)
+
+    def test_empty_touched_set(self):
+        g = make_random_graph(seed=3)
+        params = TxAlloParams.with_capacity_for(400, k=4, backend="fast")
+        alloc = g_txallo(g, params).allocation
+        before = alloc.mapping()
+        result = a_txallo(alloc, [])
+        assert result.moves == 0 and result.sweeps >= 1
+        assert alloc.mapping() == before
+
+
+class TestBackendPlumbing:
+    def test_params_validate_backend(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            TxAlloParams(k=2, backend="warp-drive")
+
+    def test_params_default_fast(self):
+        assert TxAlloParams(k=2).backend == "fast"
+
+    def test_backend_override_beats_params(self):
+        g = make_random_graph(seed=8)
+        params = TxAlloParams.with_capacity_for(400, k=3, backend="reference")
+        # Explicit kwarg wins over the params field; outputs identical.
+        ref = g_txallo(g, params)
+        fast = g_txallo(g, params, backend="fast")
+        assert_gtxallo_identical(ref, fast)
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import ParameterError
+
+        g = make_random_graph(seed=8)
+        params = TxAlloParams.with_capacity_for(400, k=3)
+        with pytest.raises(ParameterError):
+            g_txallo(g, params, backend="nope")
+        with pytest.raises(ValueError):
+            louvain_partition(g, backend="nope")

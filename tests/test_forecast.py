@@ -46,6 +46,33 @@ class TestDecay:
         assert g.advance_window() == 0
         assert g.edge_weight("a", "b") == 1.0
 
+    def test_advance_window_invalidates_frozen_snapshot(self):
+        """Regression: advance_window mutates the adjacency outside
+        add_node/add_edge and must invalidate the cached CSR, or the
+        fast backend keeps allocating on pre-decay weights."""
+        g = DecayingTransactionGraph(decay=0.5)
+        g.add_transaction(("a", "b"))
+        stale = g.freeze()
+        assert g.freeze() is stale  # cached while unchanged
+        g.advance_window()
+        fresh = g.freeze()
+        assert fresh is not stale
+        assert fresh.total_weight == pytest.approx(0.5)
+
+    def test_fast_and_reference_agree_after_decay(self):
+        from repro.core.gtxallo import g_txallo
+        from repro.core.params import TxAlloParams
+
+        params = TxAlloParams(k=2, eta=2.0, lam=10.0)
+        g = DecayingTransactionGraph(decay=0.5)
+        g.add_transactions([("a", "b"), ("c", "d"), ("a", "c")])
+        g_txallo(g, params)  # warms the freeze cache
+        g.advance_window()
+        fast = g_txallo(g, params, backend="fast").allocation
+        ref = g_txallo(g, params, backend="reference").allocation
+        assert fast.mapping() == ref.mapping()
+        assert fast.sigma == ref.sigma
+
     def test_self_loop_decays(self):
         g = DecayingTransactionGraph(decay=0.5)
         g.add_transaction(("a",))

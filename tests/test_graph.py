@@ -239,3 +239,87 @@ class TestInvariantsProperty:
         for u, v, w in g.edges():
             assert g.edge_weight(u, v) == pytest.approx(w)
             assert g.edge_weight(v, u) == pytest.approx(w)
+
+    @given(
+        txs=st.lists(
+            st.lists(st.integers(0, 15).map(lambda i: f"a{i}"), min_size=1, max_size=4),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_edges_orientation_is_insertion_order(self, txs):
+        """Regression pin for the documented ``edges()`` orientation: the
+        earlier-inserted endpoint of every pair comes first, and each
+        undirected edge is yielded exactly once."""
+        g = TransactionGraph()
+        for accounts in txs:
+            g.add_transaction(accounts)
+        rank = {v: i for i, v in enumerate(g.nodes())}
+        seen = set()
+        count = 0
+        for u, v, w in g.edges():
+            count += 1
+            key = frozenset((u, v))
+            assert key not in seen
+            seen.add(key)
+            if u != v:
+                assert rank[u] < rank[v]
+        assert count == g.num_edges
+
+
+class TestFreeze:
+    def small_graph(self):
+        g = TransactionGraph()
+        g.add_transaction(("b", "a"))
+        g.add_transaction(("c", "b"))
+        g.add_transaction(("a",))
+        g.add_node("island")
+        return g
+
+    def test_freeze_interns_in_sorted_order(self):
+        csr = self.small_graph().freeze()
+        assert csr.nodes == ["a", "b", "c", "island"]
+        assert csr.index_of["a"] == 0
+        assert csr.num_nodes == 4
+
+    def test_freeze_mirrors_adjacency(self):
+        g = self.small_graph()
+        csr = g.freeze()
+        for v in g.nodes():
+            i = csr.index_of[v]
+            row = g.neighbours(v)
+            start, end = csr.indptr[i], csr.indptr[i + 1]
+            got = {csr.nodes[csr.indices[t]]: csr.weights[t] for t in range(start, end)}
+            assert got == dict(row)
+            assert csr.loop[i] == g.self_loop(v)
+            assert csr.ext[i] == pytest.approx(g.external_strength(v))
+            # The loop-free hot view carries the same (neighbour, weight)s.
+            assert {csr.nodes[j]: w for j, w in csr.pairs[i]} == {
+                u: w for u, w in row.items() if u != v
+            }
+
+    def test_freeze_is_cached_until_mutation(self):
+        g = self.small_graph()
+        first = g.freeze()
+        assert g.freeze() is first
+        g.add_transaction(("a", "d"))
+        second = g.freeze()
+        assert second is not first
+        assert "d" in second.index_of
+        # The old snapshot is detached, not mutated.
+        assert "d" not in first.index_of
+
+    def test_add_existing_node_keeps_cache(self):
+        g = self.small_graph()
+        first = g.freeze()
+        g.add_node("a")  # no-op: already present
+        assert g.freeze() is first
+
+    def test_insertion_permutation_roundtrips(self):
+        g = self.small_graph()
+        csr = g.freeze()
+        order = [csr.nodes[i] for i in csr.ins_order]
+        assert order == list(g.nodes())
+        for i in range(csr.num_nodes):
+            assert csr.ins_order[csr.ins_rank[i]] == i
