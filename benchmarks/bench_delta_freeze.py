@@ -1,0 +1,174 @@
+"""Delta-freeze run-table: the dynamic controller block-loop, full vs
+incremental CSR maintenance.
+
+The paper's dynamic setting (Section V-A, Figs. 9-10) runs A-TxAllo
+every ``τ₁`` blocks and G-TxAllo every ``τ₂`` blocks while blocks keep
+arriving.  Every one of those updates needs the graph's frozen CSR
+snapshot; before delta-freeze each snapshot was a from-scratch O(N + E)
+lowering even though a block only perturbs a small frontier.
+
+This benchmark replays exactly that loop twice over the same Fig. 9-style
+block stream — once with ``TransactionGraph.delta_freeze_enabled = False``
+(every refresh re-lowers from scratch) and once with the default
+incremental path — asserts the two runs are **byte-identical** (same
+mapping, same caches, same update events), and writes
+``BENCH_delta.json`` next to this file:
+
+``{"scale", "blocks", "full_loop_seconds", "delta_loop_seconds",
+"speedup", "frontier_freeze_ms", "full_freeze_ms", ...}``
+
+``frontier_freeze_ms`` is the steady-state microbench: mean time to
+re-freeze after touching a frontier of ``f`` nodes, for growing ``f`` —
+the incremental cost tracks the frontier, while the full lowering pays
+N + E regardless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.controller import TxAlloController
+from repro.core.csr import CSRGraph
+from repro.core.params import TxAlloParams
+from repro.data.synthetic import EthereumWorkloadGenerator, WorkloadConfig
+
+BENCH_SCALE = float(os.environ.get("BENCH_SCALE", "0.5"))
+
+#: Fig. 9 cadence: adaptive every block, global refresh every 50 blocks.
+TAU1 = 1
+TAU2 = 50
+#: Ethereum-sized blocks; the update frequency is what stresses freeze.
+BLOCK_SIZE = 100
+#: Loop timings are best-of-N to shave scheduler noise off the gate.
+TIMING_REPEATS = 2
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_delta.json"
+
+
+def _block_stream(scale: float, seed: int = 2022):
+    config = WorkloadConfig(
+        num_accounts=max(100, int(10_000 * scale)),
+        num_transactions=max(1_000, int(60_000 * scale)),
+        block_size=BLOCK_SIZE,
+        seed=seed,
+    )
+    gen = EthereumWorkloadGenerator(config)
+    return [[tuple(tx.accounts) for tx in block.transactions] for block in gen.blocks()]
+
+
+def _run_loop(blocks, seed_blocks, delta_enabled: bool):
+    """One controller over the stream; returns (loop_seconds, controller)."""
+    params = TxAlloParams.with_capacity_for(
+        sum(len(b) for b in blocks) + sum(len(b) for b in seed_blocks),
+        k=16,
+        eta=2.0,
+        tau1=TAU1,
+        tau2=TAU2,
+    )
+    controller = TxAlloController(
+        params, seed_transactions=[tx for block in seed_blocks for tx in block]
+    )
+    controller.graph.delta_freeze_enabled = delta_enabled
+    t0 = time.perf_counter()
+    for block in blocks:
+        controller.observe_block(block)
+    return time.perf_counter() - t0, controller
+
+
+def _frontier_microbench(graph, repeats: int = 5):
+    """Steady-state cost of re-freezing after touching ``f`` nodes."""
+    existing = [v for v in graph.nodes()]
+    results = {}
+    for frontier in (8, 32, 128):
+        times = []
+        for r in range(repeats):
+            # Touch ~frontier existing nodes (pair transactions).
+            for i in range(frontier // 2):
+                a = existing[(r * 7919 + i * 31) % len(existing)]
+                b = existing[(r * 104729 + i * 97 + 1) % len(existing)]
+                if a == b:
+                    b = existing[(i + 2) % len(existing)]
+                graph.add_transaction((a, b))
+            t0 = time.perf_counter()
+            graph.freeze()
+            times.append(time.perf_counter() - t0)
+        results[str(frontier)] = sum(times) / len(times) * 1e3
+    t0 = time.perf_counter()
+    CSRGraph.from_graph(graph)
+    full_ms = (time.perf_counter() - t0) * 1e3
+    return results, full_ms
+
+
+def run_bench(scale: float = BENCH_SCALE, out_path: Path = OUT_PATH) -> dict:
+    blocks = _block_stream(scale)
+    # First half seeds the initial global allocation (history), second
+    # half is the live stream the controller loop is timed over.
+    split = len(blocks) // 2
+    seed_blocks, stream = blocks[:split], blocks[split:]
+
+    full_seconds = delta_seconds = float("inf")
+    for _ in range(TIMING_REPEATS):
+        seconds, full_ctrl = _run_loop(stream, seed_blocks, delta_enabled=False)
+        full_seconds = min(full_seconds, seconds)
+        seconds, delta_ctrl = _run_loop(stream, seed_blocks, delta_enabled=True)
+        delta_seconds = min(delta_seconds, seconds)
+
+    # Parity: delta-freeze is an optimisation, not a reinterpretation.
+    assert full_ctrl.allocation.mapping() == delta_ctrl.allocation.mapping()
+    assert full_ctrl.allocation.sigma == delta_ctrl.allocation.sigma
+    assert full_ctrl.allocation.lam_hat == delta_ctrl.allocation.lam_hat
+    assert [
+        (e.kind, e.block_height, e.moves, e.touched) for e in full_ctrl.events
+    ] == [(e.kind, e.block_height, e.moves, e.touched) for e in delta_ctrl.events]
+
+    delta_stats = delta_ctrl.freeze_stats
+    assert delta_stats["delta"] > 0, "delta-freeze path never ran"
+
+    # Counts first: the microbench ingests extra frontier transactions.
+    n_nodes = delta_ctrl.graph.num_nodes
+    n_edges = delta_ctrl.graph.num_edges
+    frontier_ms, full_freeze_ms = _frontier_microbench(delta_ctrl.graph)
+
+    payload = {
+        "scale": scale,
+        "n_nodes": n_nodes,
+        "n_edges": n_edges,
+        "seed_blocks": split,
+        "stream_blocks": len(stream),
+        "tau1": TAU1,
+        "tau2": TAU2,
+        "full_loop_seconds": full_seconds,
+        "delta_loop_seconds": delta_seconds,
+        "speedup": full_seconds / delta_seconds if delta_seconds > 0 else float("inf"),
+        "full_freeze_stats": full_ctrl.freeze_stats,
+        "delta_freeze_stats": delta_stats,
+        "frontier_freeze_ms": frontier_ms,
+        "full_freeze_ms": full_freeze_ms,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(f"== delta-freeze controller loop (scale={scale}) ==")
+    for key, value in payload.items():
+        print(f"  {key}: {value}")
+    return payload
+
+
+def test_delta_freeze_run_table():
+    payload = run_bench()
+
+    # Steady-state cost must track the frontier, not N + E: the smallest
+    # frontier refresh has to be far below a from-scratch lowering.
+    assert payload["frontier_freeze_ms"]["8"] < payload["full_freeze_ms"] / 4
+
+    # The perf gate of this PR: >= 2x on the controller block-loop at the
+    # default BENCH_SCALE=0.5 (margin for timer noise).
+    assert payload["speedup"] >= 2.0, (
+        f"delta-freeze block-loop speedup regressed: {payload['speedup']:.2f}x < 2x"
+    )
+
+
+if __name__ == "__main__":
+    run_bench()

@@ -13,6 +13,13 @@ end-to-end latency is the maximum over shards.  New accounts appearing
 in live traffic are routed by the controller's current allocation, which
 A-TxAllo extends on its next scheduled run.
 
+With a :class:`TxAlloController` allocator the tick loop no longer pays
+repeated from-scratch graph freezes: each block's ingest perturbs only a
+small frontier, so the controller's scheduled updates extend the frozen
+CSR snapshot incrementally (delta-freeze).
+:attr:`LiveReport.freeze_stats` carries the full/delta/cached counters
+for the run.
+
 This closes the loop the paper argues for qualitatively: with TxAllo
 steering allocation, the same network sustains a higher committed TPS
 than with hash allocation — ``tests/test_live.py`` asserts exactly that.
@@ -52,6 +59,9 @@ class LiveReport:
     mean_latency: float
     p99_latency: int
     cross_shard_ratio: float
+    #: Controller-graph snapshot counters ({"full", "delta", "cached"});
+    #: None for static allocators, which never freeze a graph.
+    freeze_stats: Optional[Dict[str, int]] = None
 
     @property
     def committed_per_tick(self) -> float:
@@ -205,5 +215,10 @@ class LiveShardedNetwork:
             p99_latency=p99,
             cross_shard_ratio=(
                 self._cross_arrived / self._arrived if self._arrived else 0.0
+            ),
+            freeze_stats=(
+                self.allocator.freeze_stats
+                if isinstance(self.allocator, TxAlloController)
+                else None
             ),
         )

@@ -50,7 +50,7 @@ def a_txallo(
     alloc: Allocation,
     touched: Iterable[Node],
     *,
-    epsilon: float = None,
+    epsilon: Optional[float] = None,
     backend: Optional[str] = None,
 ) -> ATxAlloResult:
     """Run Algorithm 2 in place on ``alloc`` for the touched node set ``V̂``.
@@ -60,9 +60,11 @@ def a_txallo(
     defaults to the allocation's configured threshold.
 
     ``backend`` overrides ``alloc.params.backend``: ``"fast"`` snapshots
-    the touched neighbourhoods into flat arrays once and sweeps on those
-    (:mod:`repro.core.engine`), ``"reference"`` rescans the dict adjacency
-    every sweep.  Both mutate ``alloc`` byte-identically.
+    the touched neighbourhoods into flat arrays once — reading the rows
+    from the graph's incrementally-maintained frozen CSR form — and
+    sweeps on those (:mod:`repro.core.engine`), ``"reference"`` rescans
+    the dict adjacency every sweep.  Both mutate ``alloc``
+    byte-identically.
     """
     t0 = time.perf_counter()
     if epsilon is None:

@@ -10,6 +10,13 @@ blocks, where a *block* is simply an iterable of transactions and a
 transaction an iterable of account identifiers.  It owns the transaction
 graph, the current :class:`~repro.core.allocation.Allocation` and an update
 log with per-update wall-clock timings.
+
+On the fast backend the graph's frozen CSR snapshot is maintained
+*incrementally* across updates (delta-freeze, see
+:meth:`repro.core.graph.TransactionGraph.freeze`): each block perturbs a
+small frontier, so the periodic A-TxAllo snapshots and G-TxAllo refreshes
+extend the previous snapshot instead of re-lowering the whole graph.
+:attr:`TxAlloController.freeze_stats` exposes the counters.
 """
 
 from __future__ import annotations
@@ -71,13 +78,16 @@ class TxAlloController:
         if seed_transactions is not None:
             for accounts in seed_transactions:
                 self.graph.add_transaction(accounts)
+        # Same timing semantics as _run_global: wall-clock around the
+        # whole call, so the seed event is comparable to scheduled ones.
+        t0 = time.perf_counter()
         result = g_txallo(self.graph, params)
         self.allocation: Allocation = result.allocation
         self.events.append(
             UpdateEvent(
                 kind="global",
                 block_height=0,
-                seconds=result.total_seconds,
+                seconds=time.perf_counter() - t0,
                 moves=result.moves,
                 touched=self.graph.num_nodes,
             )
@@ -90,7 +100,11 @@ class TxAlloController:
         Returns the update event when an algorithm ran, else ``None``.
         """
         for accounts in transactions:
-            unique = set(accounts)
+            # Sorted, deduplicated ingest order: iterating a raw ``set``
+            # here would feed the allocation caches' float accumulations
+            # in PYTHONHASHSEED-dependent order, breaking the
+            # "canonical order every miner can reproduce" contract.
+            unique = sorted(set(accounts))
             self.graph.add_transaction(unique)
             self.allocation.ingest_transaction(unique)
             self._touched.update(unique)
@@ -148,3 +162,14 @@ class TxAlloController:
     @property
     def global_events(self) -> List[UpdateEvent]:
         return [e for e in self.events if e.kind == "global"]
+
+    @property
+    def freeze_stats(self) -> dict:
+        """The graph's snapshot counters (full/delta/cached freezes).
+
+        On the fast backend both the global refreshes and the adaptive
+        neighbourhood snapshots run on the frozen CSR form, so this shows
+        whether the controller is paying from-scratch lowerings or the
+        incremental delta-freeze path.
+        """
+        return self.graph.freeze_stats

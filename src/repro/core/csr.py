@@ -5,9 +5,8 @@ strings — ideal for incremental ingest, terrible for the allocation hot
 paths, which pay Python string hashing and per-node dict construction on
 every neighbourhood scan.  :class:`CSRGraph` is the *frozen* form the
 flat-array sweep engine (:mod:`repro.core.engine`) runs on: account
-strings are interned to dense integer ids (sorted-identifier order, the
-canonical sweep order of Section IV-A) and the adjacency is lowered into
-flat CSR arrays:
+strings are interned to dense integer ids and the adjacency is lowered
+into flat CSR arrays:
 
 * ``indptr``/``indices``/``weights`` — ``array('l')``/``array('d')``
   row-pointer, neighbour-id and weight vectors.  Rows keep the *exact*
@@ -20,20 +19,46 @@ flat CSR arrays:
 * ``pairs`` — a loop-free ``[(neighbour_id, weight), ...]`` list per node,
   the hot-loop view the sweep engine iterates (tuple unpacking is the
   fastest pure-Python idiom for this).
-* ``ins_rank``/``ins_order`` — the permutation between the dense sorted
-  ids and the graph's insertion (chronological-appearance) order, used to
-  replay ``TransactionGraph.edges()``-ordered passes on the frozen form.
+* ``sorted_order``/``sorted_rank`` — the lazily-built permutation between
+  dense ids and ascending-identifier order, the canonical sweep order of
+  Section IV-A (see below).
+
+Id scheme
+---------
+Node ``i`` is the ``i``-th account in **insertion** (chronological
+appearance) order — for a ledger replay, the order every miner observes.
+Insertion order is *stable under growth*: new accounts always take the
+next free ids, so an incremental re-freeze (:meth:`CSRGraph.extend`)
+never renumbers existing rows.  The allocators' canonical
+ascending-identifier sweep order is recovered through the
+``sorted_order`` permutation, and ``TransactionGraph.edges()``-ordered
+cache walks are simply ascending-id walks (the earlier-inserted endpoint
+of every pair has the smaller id).
 
 A ``CSRGraph`` is immutable; mutate the source graph and call
 :meth:`TransactionGraph.freeze` again (the graph caches the frozen form
 against an internal version counter, so freezing an unchanged graph is
 free).
+
+Delta-freeze
+------------
+Re-lowering the whole graph on every freeze is O(N + E) Python even when
+a block only perturbed a handful of rows.  :meth:`CSRGraph.extend` is the
+incremental path: given the previous snapshot and the mutation log since
+its version (new nodes in insertion order, the set of nodes whose
+adjacency rows changed), it copies every untouched span of the base
+snapshot wholesale — ids are stable, so untouched rows are byte-reusable
+— and re-lowers only the frontier.  The result is **element identical**
+to a cold :meth:`CSRGraph.from_graph` of the same graph, which
+``tests/test_delta_freeze.py`` pins property-style.
+:meth:`TransactionGraph.freeze` drives this automatically; callers never
+invoke :meth:`extend` directly.
 """
 
 from __future__ import annotations
 
 from array import array
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, AbstractSet, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.graph import Node, TransactionGraph
@@ -51,12 +76,13 @@ class CSRGraph:
         "loop",
         "ext",
         "pairs",
-        "ins_rank",
-        "ins_order",
         "num_edges",
         "total_weight",
         "louvain_memo",
         "intra_cut_memo",
+        "_sorted_order",
+        "_sorted_rank",
+        "_sorted_identity",
     )
 
     def __init__(
@@ -69,8 +95,6 @@ class CSRGraph:
         loop: array,
         ext: array,
         pairs: List[List[Tuple[int, float]]],
-        ins_rank: array,
-        ins_order: array,
         num_edges: int,
         total_weight: float,
     ) -> None:
@@ -82,8 +106,6 @@ class CSRGraph:
         self.loop = loop
         self.ext = ext
         self.pairs = pairs
-        self.ins_rank = ins_rank
-        self.ins_order = ins_order
         self.num_edges = num_edges
         self.total_weight = total_weight
         # (max_levels, resolution) -> Louvain membership list.  Sound
@@ -97,19 +119,23 @@ class CSRGraph:
         self.intra_cut_memo: Dict[
             Tuple[int, float], Tuple[List[float], List[float]]
         ] = {}
+        # Lazy ascending-identifier permutation; only the global sweeps
+        # need it, so the adaptive path never pays the O(N log N) sort.
+        self._sorted_order: Optional[array] = None
+        self._sorted_rank: Optional[array] = None
+        self._sorted_identity: Optional[bool] = None
 
     # ------------------------------------------------------------------
     @classmethod
     def from_graph(cls, graph: "TransactionGraph") -> "CSRGraph":
         """Lower ``graph`` into CSR arrays (one O(N + E) pass).
 
-        Node ``i`` is the ``i``-th account in ascending identifier order,
-        so ascending integer order *is* the deterministic sweep order the
-        allocators use.  Row contents preserve the adjacency-dict
-        iteration order so float accumulations stay bit-identical to the
-        reference dict-based scans.
+        Node ``i`` is the ``i``-th account in insertion order; row
+        contents preserve the adjacency-dict iteration order so float
+        accumulations stay bit-identical to the reference dict-based
+        scans.
         """
-        nodes = graph.nodes_sorted()
+        nodes = list(graph.nodes())
         n = len(nodes)
         index_of = {v: i for i, v in enumerate(nodes)}
 
@@ -120,13 +146,6 @@ class CSRGraph:
         loop = array("d", bytes(8 * n))
         ext = array("d", bytes(8 * n))
         pairs: List[List[Tuple[int, float]]] = []
-        ins_rank = array("l", bytes(lsize * n))
-        ins_order = array("l", bytes(lsize * n))
-
-        for rank, v in enumerate(graph.nodes()):
-            i = index_of[v]
-            ins_rank[i] = rank
-            ins_order[rank] = i
 
         pos = 0
         for i, v in enumerate(nodes):
@@ -156,11 +175,157 @@ class CSRGraph:
             loop=loop,
             ext=ext,
             pairs=pairs,
-            ins_rank=ins_rank,
-            ins_order=ins_order,
             num_edges=graph.num_edges,
             total_weight=graph.total_weight,
         )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def extend(
+        cls,
+        graph: "TransactionGraph",
+        base: "CSRGraph",
+        new_nodes: Sequence["Node"],
+        touched: AbstractSet["Node"],
+    ) -> "CSRGraph":
+        """Incrementally lower ``graph`` on top of the snapshot ``base``.
+
+        ``base`` is a frozen snapshot of an earlier version of ``graph``;
+        ``new_nodes`` are the accounts added since, in insertion order,
+        and ``touched`` the accounts whose adjacency rows changed (both
+        endpoints of every added/updated edge).  The log must describe
+        *monotone* growth only — decay or pruning rewrites rows out of
+        band and requires a full :meth:`from_graph` rebuild (the graph's
+        delta tracking enforces this).
+
+        Ids are insertion-stable, so new nodes append at the tail and the
+        untouched rows between consecutive frontier rows are copied from
+        ``base`` as whole array/list slices (their ``pairs`` lists shared
+        — both snapshots are immutable).  Python-level work is therefore
+        proportional to the frontier (touched rows and their degrees),
+        with the O(E) balance reduced to C-level ``memcpy``.
+        """
+        old_n = len(base.nodes)
+        lsize = base.indptr.itemsize
+
+        if new_nodes:
+            nodes = base.nodes + list(new_nodes)
+            index_of = dict(base.index_of)
+            for idx, v in enumerate(new_nodes, old_n):
+                index_of[v] = idx
+        else:
+            nodes = base.nodes
+            index_of = base.index_of
+        n = len(nodes)
+
+        rebuild = set(touched)
+        rebuild.update(new_nodes)
+
+        indptr = array("l", bytes(lsize * (n + 1)))
+        indices = array("l")
+        weights = array("d")
+        loop = array("d", bytes(8 * n))
+        ext = array("d", bytes(8 * n))
+        pairs: List[List[Tuple[int, float]]] = []
+
+        base_indptr = base.indptr
+        base_indices = base.indices
+        base_weights = base.weights
+        base_loop = base.loop
+        base_ext = base.ext
+        base_pairs = base.pairs
+
+        def lower_row(i: int, v: "Node") -> None:
+            # Frontier row: re-lower from the live adjacency dict,
+            # identically to the from_graph inner loop.
+            row = graph.neighbours(v)
+            prs: List[Tuple[int, float]] = []
+            e = 0.0
+            for u, w in row.items():
+                j = index_of[u]
+                indices.append(j)
+                weights.append(w)
+                if j == i:
+                    loop[i] = w
+                else:
+                    e += w
+                    prs.append((j, w))
+            ext[i] = e
+            pairs.append(prs)
+            indptr[i + 1] = len(indices)
+
+        # Untouched rows sit in contiguous spans between consecutive
+        # frontier rows (every id >= old_n is frontier, so spans never
+        # reach past the base).  Copy each span wholesale.
+        frontier = sorted(index_of[v] for v in rebuild)
+        prev = 0
+        for i in frontier + [n]:
+            if prev < i:
+                start, end = base_indptr[prev], base_indptr[i]
+                seg_offset = len(indices) - start
+                indices.extend(base_indices[start:end])
+                weights.extend(base_weights[start:end])
+                loop[prev:i] = base_loop[prev:i]
+                ext[prev:i] = base_ext[prev:i]
+                pairs.extend(base_pairs[prev:i])
+                if seg_offset == 0:
+                    indptr[prev + 1 : i + 1] = base_indptr[prev + 1 : i + 1]
+                else:
+                    for t in range(prev + 1, i + 1):
+                        indptr[t] = base_indptr[t] + seg_offset
+            if i < n:
+                lower_row(i, nodes[i])
+                prev = i + 1
+
+        return cls(
+            nodes=nodes,
+            index_of=index_of,
+            indptr=indptr,
+            indices=indices,
+            weights=weights,
+            loop=loop,
+            ext=ext,
+            pairs=pairs,
+            num_edges=graph.num_edges,
+            total_weight=graph.total_weight,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def sorted_order(self) -> array:
+        """Dense ids in ascending node-identifier order (lazy).
+
+        ``sorted_order[r]`` is the id of the ``r``-th account in sorted
+        order — the canonical deterministic sweep order of Section IV-A.
+        Built on first use (the adaptive path never needs it) and cached
+        on this immutable snapshot.
+        """
+        order = self._sorted_order
+        if order is None:
+            order = array("l", sorted(range(len(self.nodes)), key=self.nodes.__getitem__))
+            self._sorted_order = order
+            self._sorted_identity = all(o == i for i, o in enumerate(order))
+        return order
+
+    @property
+    def sorted_order_is_identity(self) -> bool:
+        """True when insertion order already is ascending-identifier
+        order, letting sorted-space consumers skip their remaps."""
+        if self._sorted_identity is None:
+            self.sorted_order  # builds and classifies the permutation
+        return self._sorted_identity
+
+    @property
+    def sorted_rank(self) -> array:
+        """Inverse of :attr:`sorted_order`: id -> ascending-order rank."""
+        rank = self._sorted_rank
+        if rank is None:
+            order = self.sorted_order
+            rank = array("l", bytes(order.itemsize * len(order)))
+            for r, i in enumerate(order):
+                rank[i] = r
+            self._sorted_rank = rank
+        return rank
 
     # ------------------------------------------------------------------
     @property

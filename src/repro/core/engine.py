@@ -24,9 +24,12 @@ same order:
 
 * CSR rows preserve the adjacency-dict iteration order, so per-node
   neighbourhood accumulations add the same floats in the same sequence;
-* the ``TransactionGraph.edges()`` insertion-order edge walk used by
-  ``Allocation`` cache rebuilds is replayed via the frozen
-  ``ins_rank`` / ``ins_order`` permutation;
+* CSR ids are insertion-ordered (stable under delta-freeze), so the
+  ``TransactionGraph.edges()`` insertion-order edge walk used by
+  ``Allocation`` cache rebuilds is an ascending-id walk, and the
+  reference's ascending-*identifier* sweep and Louvain orders are
+  replayed through the frozen ``sorted_order`` / ``sorted_rank``
+  permutation;
 * every gain / delta expression is written with the same operand order
   and parenthesisation as :mod:`repro.core.objective` and
   :meth:`repro.core.allocation.Allocation.move`;
@@ -81,6 +84,12 @@ def louvain_flat(
     Labels are dense ints in order of first appearance over the sorted
     node sequence — identical to the reference implementation.
 
+    Level 0 is built in *sorted-identifier index space* — the space the
+    reference implementation works in — so every accumulation, move,
+    tie-break and relabel below replays it exactly even though CSR ids
+    are insertion-ordered.  One O(E) remap per frozen graph, amortised
+    by the memo.
+
     Results are memoised on the (immutable) ``csr`` — the paper's
     evaluation sweeps run G-TxAllo for many ``(k, eta)`` cells over one
     graph, and the Louvain seed partition depends only on the graph.
@@ -94,8 +103,22 @@ def louvain_flat(
     if cached is not None:
         return list(cached)
 
-    rows: List[Sequence[Tuple[int, float]]] = csr.pairs
-    loops: List[float] = list(csr.loop)
+    identity = csr.sorted_order_is_identity
+    if identity:
+        # Insertion order already is sorted order: id space == sorted
+        # space, no remap needed.
+        rows: List[Sequence[Tuple[int, float]]] = csr.pairs
+        loops: List[float] = list(csr.loop)
+    else:
+        sorder = csr.sorted_order
+        srank = csr.sorted_rank
+        pairs = csr.pairs
+        loop = csr.loop
+        rows = []
+        loops = []
+        for i in sorder:
+            rows.append([(srank[j], w) for j, w in pairs[i]])
+            loops.append(loop[i])
     membership = list(range(n))
 
     for _level in range(max_levels):
@@ -111,8 +134,15 @@ def louvain_flat(
             break
         rows, loops = _aggregate_flat(rows, loops, community, len(relabel))
 
-    csr.louvain_memo[memo_key] = membership
-    return list(membership)
+    # Back to id space: membership[r] labels the r-th *sorted* node.
+    if identity:
+        result = membership
+    else:
+        result = [0] * n
+        for r in range(n):
+            result[sorder[r]] = membership[r]
+    csr.louvain_memo[memo_key] = result
+    return list(result)
 
 
 def _one_level_flat(
@@ -341,26 +371,24 @@ def _intra_cut(
 
     Replays ``Allocation._recompute_caches``'s edge walk exactly: the
     reference iterates ``TransactionGraph.edges()`` — insertion order
-    outer, row order inner, each pair at its earlier-inserted endpoint —
-    and ``ins_rank`` / ``ins_order`` reproduce that walk on the frozen
-    arrays, so the accumulated floats are bit-identical.  The result is
-    independent of ``eta`` / ``k``: ``sigma``/``lam_hat`` derive from it
-    per parameter cell.
+    outer, row order inner, each pair at its earlier-inserted endpoint.
+    CSR ids *are* insertion ranks, so that walk is an ascending-id walk
+    that skips the pair at its larger-id endpoint, and the accumulated
+    floats are bit-identical.  The result is independent of ``eta`` /
+    ``k``: ``sigma``/``lam_hat`` derive from it per parameter cell.
     """
     intra = [0.0] * num_comms
     cut = [0.0] * num_comms
     indptr, indices, weights = csr.indptr, csr.indices, csr.weights
-    ins_rank = csr.ins_rank
-    for u in csr.ins_order:
-        ru = ins_rank[u]
+    for u in range(len(comm)):
         cu = comm[u]
         for t in range(indptr[u], indptr[u + 1]):
             j = indices[t]
             if j == u:
                 intra[cu] += weights[t]
                 continue
-            if ins_rank[j] < ru:
-                continue  # already handled at the other endpoint
+            if j < u:
+                continue  # already handled at the earlier-inserted endpoint
             cj = comm[j]
             w = weights[t]
             if cu == cj:
@@ -388,7 +416,6 @@ def g_txallo_flat(
     """
     t0 = time.perf_counter()
     csr = graph.freeze()
-    n = csr.num_nodes
 
     if initial_partition is None:
         comm = louvain_flat(csr)
@@ -409,7 +436,9 @@ def g_txallo_flat(
     t1 = time.perf_counter()
 
     if node_order is None:
-        order: Iterable[int] = range(n)
+        # The reference sweeps graph.nodes_sorted(); on insertion-ordered
+        # CSR ids that is the sorted_order permutation.
+        order: Iterable[int] = csr.sorted_order
     else:
         index_of = csr.index_of
         try:
@@ -483,9 +512,9 @@ def _initialise_flat(
     loop = csr.loop
     ext = csr.ext
     num_small = 0
-    # Small-community nodes in ascending identifier order == ascending
-    # CSR id (ids are assigned in sorted-identifier order).
-    for i in range(csr.num_nodes):
+    # Small-community nodes in ascending identifier order, as the
+    # reference's sorted() scan visits them.
+    for i in csr.sorted_order:
         p = comm[i]
         if p < k:
             continue
@@ -700,6 +729,15 @@ def a_txallo_flat(
     re-hashing an account string.  Assignments and moves are applied
     through :meth:`Allocation.assign` / :meth:`Allocation.move` with the
     accumulated weights, so the cache arithmetic is the reference's own.
+
+    The per-node rows come from the graph's frozen CSR form, which
+    :meth:`TransactionGraph.freeze` maintains *incrementally* between
+    runs (delta-freeze): on the controller path, where each block only
+    perturbs a small frontier, refreshing the snapshot costs work
+    proportional to that frontier instead of a from-scratch O(N + E)
+    lowering.  CSR rows replay the adjacency-dict iteration order and
+    ``loop``/``ext`` are the same accumulated floats, so the run stays
+    byte-identical to the reference backend.
     """
     graph = alloc.graph
     params = alloc.params
@@ -709,9 +747,20 @@ def a_txallo_flat(
     num_comms = alloc.num_communities
     shard_of = alloc._shard_of
 
+    csr = graph.freeze()
+    index_of = csr.index_of
+    csr_nodes = csr.nodes
+    csr_pairs = csr.pairs
+
     hat_v: List[Node] = sorted(set(touched))
     nv = len(hat_v)
-    local_index = {v: s for s, v in enumerate(hat_v)}
+    ids: List[int] = []
+    for v in hat_v:
+        try:
+            ids.append(index_of[v])
+        except KeyError:
+            raise GraphError(f"unknown node {v!r}") from None
+    local_slot = {i: s for s, i in enumerate(ids)}
     local_shard = [shard_of.get(v, -1) for v in hat_v]
 
     # --- one-time neighbourhood snapshot --------------------------------
@@ -720,27 +769,23 @@ def a_txallo_flat(
     # ``~slot`` of a touched neighbour (community read through
     # ``local_shard`` at evaluation time).  Untouched *unassigned*
     # neighbours are dropped — they never contribute shard weight and
-    # ``w_ext`` is precomputed below.
+    # ``w_ext`` comes precomputed from the frozen form (``csr.ext`` sums
+    # the same floats in the same row order as a dict scan would).
     snap: List[List[Tuple[int, float]]] = []
     self_w = [0.0] * nv
     ext_w = [0.0] * nv
-    for s, v in enumerate(hat_v):
-        row = graph.neighbours(v)
+    for s, i in enumerate(ids):
         entries: List[Tuple[int, float]] = []
-        w_ext = 0.0
-        for u, w in row.items():
-            if u == v:
-                self_w[s] = w
-                continue
-            w_ext += w
-            slot = local_index.get(u)
+        for j, w in csr_pairs[i]:
+            slot = local_slot.get(j)
             if slot is not None:
                 entries.append((~slot, w))
             else:
-                c = shard_of.get(u)
+                c = shard_of.get(csr_nodes[j])
                 if c is not None:
                     entries.append((c, w))
-        ext_w[s] = w_ext
+        self_w[s] = csr.loop[i]
+        ext_w[s] = csr.ext[i]
         snap.append(entries)
 
     acc = [0.0] * num_comms

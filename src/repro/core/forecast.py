@@ -64,6 +64,17 @@ class DecayingTransactionGraph(TransactionGraph):
     def windows_advanced(self) -> int:
         return self._windows_advanced
 
+    def _copy_extra_into(self, clone: TransactionGraph) -> None:
+        """Keep decay state across :meth:`TransactionGraph.copy`.
+
+        Regression guard: the inherited ``copy()`` used to construct a
+        plain ``TransactionGraph``, silently dropping ``decay``,
+        ``prune_threshold`` and the window counter.
+        """
+        clone.decay = self.decay
+        clone.prune_threshold = self.prune_threshold
+        clone._windows_advanced = self._windows_advanced
+
     def advance_window(self) -> int:
         """Apply one window's decay; returns the number of pruned edges.
 
@@ -75,10 +86,12 @@ class DecayingTransactionGraph(TransactionGraph):
         self._windows_advanced += 1
         if self.decay == 1.0:
             return 0
-        # This mutates the adjacency outside add_node/add_edge, so any
-        # frozen CSR snapshot (TransactionGraph.freeze) must be
-        # invalidated or the fast backend would run on pre-decay weights.
-        self._version += 1
+        # This mutates the adjacency outside add_node/add_edge — weights
+        # shrink and rows may vanish, which the append-only freeze delta
+        # cannot describe.  Bump the version AND poison the delta log so
+        # the next freeze() re-lowers from scratch instead of extending a
+        # pre-decay snapshot.
+        self._mark_bulk_mutation()
         pruned = 0
         for v, row in self._adj.items():
             doomed = []

@@ -26,13 +26,26 @@ quiescent graph freeze exactly once.  The frozen snapshot preserves the
 dict rows' iteration order, which keeps every float accumulation in the
 fast engine bit-identical to the reference dict-based scans.
 
+Between freezes the graph additionally records a compact *delta* — the
+nodes added since the last snapshot (in insertion order) and the nodes
+whose adjacency rows changed.  When the next ``freeze()`` finds the delta
+small and monotone, it extends the cached snapshot incrementally
+(:meth:`repro.core.csr.CSRGraph.extend`) instead of re-lowering the whole
+graph, so the dynamic controller's periodic refreshes cost work
+proportional to the block frontier rather than to N + E.  Bulk rewrites
+(window decay, pruning) and oversized deltas fall back to a full rebuild;
+either way the resulting snapshot is element-identical to a cold
+``CSRGraph.from_graph``.
+
 Determinism
 -----------
 ``nodes()`` and ``neighbours()`` iterate in *insertion order* which, for a
 ledger replay, is the chronological account-appearance order — a canonical
 order every miner can reproduce (paper Section IV-A).  ``nodes_sorted()``
-gives an explicitly sorted order when insertion order is not meaningful;
-the frozen form assigns integer ids in that sorted order.
+gives an explicitly sorted order when insertion order is not meaningful.
+The frozen form assigns integer ids in *insertion* order (stable under
+incremental growth) and exposes the sorted order as a permutation
+(``CSRGraph.sorted_order``), which the allocators sweep.
 """
 
 from __future__ import annotations
@@ -48,6 +61,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Type alias for account identifiers.  Any hashable, totally-orderable value
 #: works; the chain substrate uses hex address strings.
 Node = str
+
+#: Delta-freeze falls back to a full rebuild when more than this fraction
+#: of the graph's nodes need re-lowering — past that point the incremental
+#: bookkeeping costs more than the straight O(N + E) pass it avoids.
+DELTA_REBUILD_FRACTION = 0.25
 
 
 def pair_count(num_accounts: int) -> int:
@@ -79,6 +97,11 @@ class TransactionGraph:
         "_num_transactions",
         "_version",
         "_frozen",
+        "_delta_nodes",
+        "_delta_touched",
+        "_delta_full",
+        "_delta_enabled",
+        "_freeze_counts",
     )
 
     def __init__(self) -> None:
@@ -92,6 +115,14 @@ class TransactionGraph:
         # Mutation counter + cached (version, CSRGraph) frozen snapshot.
         self._version: int = 0
         self._frozen: Optional[Tuple[int, "CSRGraph"]] = None
+        # Delta log since the cached snapshot: nodes added (insertion
+        # order), nodes whose rows changed, and whether the log no longer
+        # describes the change (bulk rewrite -> full rebuild).
+        self._delta_nodes: List[Node] = []
+        self._delta_touched: set = set()
+        self._delta_full: bool = False
+        self._delta_enabled: bool = True
+        self._freeze_counts: Dict[str, int] = {"full": 0, "delta": 0, "cached": 0}
 
     # ------------------------------------------------------------------
     # Construction
@@ -101,6 +132,8 @@ class TransactionGraph:
         if v not in self._adj:
             self._adj[v] = {}
             self._version += 1
+            if self._delta_enabled and not self._delta_full and self._frozen is not None:
+                self._delta_nodes.append(v)
 
     def add_edge(self, u: Node, v: Node, weight: float) -> None:
         """Accumulate ``weight`` on the undirected edge ``{u, v}``.
@@ -124,6 +157,9 @@ class TransactionGraph:
             self._num_edges += 1
         self._total_weight += weight
         self._version += 1
+        if self._delta_enabled and not self._delta_full and self._frozen is not None:
+            self._delta_touched.add(u)
+            self._delta_touched.add(v)
 
     def add_transaction(self, accounts: Iterable[Node]) -> None:
         """Ingest one transaction per Definition 2.
@@ -241,7 +277,8 @@ class TransactionGraph:
         earlier-inserted endpoint (the later one is still missing from
         ``seen``) and skipped at the later one.  A regression test pins
         this orientation; the frozen CSR form relies on it to replay
-        edge-ordered passes bit-identically (see ``ins_rank`` in
+        edge-ordered passes bit-identically (insertion-ordered ids make
+        this walk an ascending-id walk, see
         :class:`repro.core.csr.CSRGraph`).
         """
         seen: set = set()
@@ -260,12 +297,23 @@ class TransactionGraph:
         """Compile the graph into its flat CSR form for the sweep engine.
 
         Returns a :class:`repro.core.csr.CSRGraph` snapshot: account
-        strings interned to dense integer ids (sorted-identifier order)
-        and adjacency lowered into flat index/neighbour/weight arrays plus
-        per-node self-loop and strength vectors.  The snapshot is cached
+        strings interned to dense integer ids (insertion order, stable
+        under growth) and adjacency lowered into flat
+        index/neighbour/weight arrays plus per-node self-loop and
+        strength vectors.  The snapshot is cached
         against an internal mutation counter — freezing an unchanged
         graph returns the same object, so back-to-back allocator runs
         (e.g. a (k, eta) parameter sweep) pay the O(N + E) lowering once.
+
+        When the graph *has* changed but the recorded delta is small and
+        monotone, the previous snapshot is extended incrementally
+        (:meth:`repro.core.csr.CSRGraph.extend`): untouched rows are
+        reused wholesale and only the mutated frontier is re-lowered.
+        Bulk rewrites (window decay/pruning, see
+        :meth:`_mark_bulk_mutation`) and deltas touching more than
+        ``DELTA_REBUILD_FRACTION`` of the nodes rebuild from scratch.
+        Either path yields an element-identical snapshot;
+        :attr:`freeze_stats` counts which one ran.
 
         The snapshot is immutable and detached: mutating the graph
         afterwards does not touch it, it only invalidates the cache.
@@ -274,10 +322,66 @@ class TransactionGraph:
 
         frozen = self._frozen
         if frozen is not None and frozen[0] == self._version:
+            self._freeze_counts["cached"] += 1
             return frozen[1]
-        csr = CSRGraph.from_graph(self)
+        csr = None
+        if frozen is not None and self._delta_enabled and not self._delta_full:
+            # Union, not sum: a brand-new connected node sits in both the
+            # node log (via add_node) and the touched set (via add_edge).
+            frontier = len(self._delta_touched.union(self._delta_nodes))
+            if frontier <= DELTA_REBUILD_FRACTION * len(self._adj):
+                csr = CSRGraph.extend(
+                    self, frozen[1], self._delta_nodes, self._delta_touched
+                )
+                self._freeze_counts["delta"] += 1
+        if csr is None:
+            csr = CSRGraph.from_graph(self)
+            self._freeze_counts["full"] += 1
         self._frozen = (self._version, csr)
+        self._delta_nodes = []
+        self._delta_touched.clear()
+        self._delta_full = False
         return csr
+
+    @property
+    def delta_freeze_enabled(self) -> bool:
+        """Whether :meth:`freeze` may extend snapshots incrementally."""
+        return self._delta_enabled
+
+    @delta_freeze_enabled.setter
+    def delta_freeze_enabled(self, enabled: bool) -> None:
+        self._delta_enabled = bool(enabled)
+        # Toggling in either direction poisons the log: mutations made
+        # while disabled are unlogged, so an extend after re-enabling
+        # would silently produce a stale snapshot.  The next freeze()
+        # rebuilds from scratch and restarts the log.
+        self._delta_full = True
+        self._delta_nodes = []
+        self._delta_touched.clear()
+
+    @property
+    def freeze_stats(self) -> Dict[str, int]:
+        """Snapshot-production counters: ``{"full", "delta", "cached"}``.
+
+        ``full`` counts from-scratch :meth:`CSRGraph.from_graph`
+        lowerings, ``delta`` incremental extends, ``cached`` hits on an
+        unchanged snapshot.  Benchmarks and tests use this to prove the
+        incremental path actually runs.
+        """
+        return dict(self._freeze_counts)
+
+    def _mark_bulk_mutation(self) -> None:
+        """Record an out-of-band adjacency rewrite (decay, pruning).
+
+        Bumps the version and poisons the delta log: such rewrites touch
+        every row (and may *remove* rows), which the append-only delta
+        cannot describe, so the next :meth:`freeze` re-lowers from
+        scratch.
+        """
+        self._version += 1
+        self._delta_full = True
+        self._delta_nodes = []
+        self._delta_touched.clear()
 
     # ------------------------------------------------------------------
     # Derived views
@@ -297,13 +401,25 @@ class TransactionGraph:
         return total
 
     def copy(self) -> "TransactionGraph":
-        """Deep copy preserving insertion order and all counters."""
-        clone = TransactionGraph()
+        """Deep copy preserving insertion order and all counters.
+
+        The clone is of ``type(self)`` — subclasses hold extra state in
+        their own slots and extend this via :meth:`_copy_extra_into`, so
+        a :class:`~repro.core.forecast.DecayingTransactionGraph` copy
+        keeps its decay configuration.  The clone starts with a cold
+        freeze cache and an empty delta log.
+        """
+        clone = type(self).__new__(type(self))
+        TransactionGraph.__init__(clone)
         clone._adj = {v: dict(row) for v, row in self._adj.items()}
         clone._total_weight = self._total_weight
         clone._num_edges = self._num_edges
         clone._num_transactions = self._num_transactions
+        self._copy_extra_into(clone)
         return clone
+
+    def _copy_extra_into(self, clone: "TransactionGraph") -> None:
+        """Hook for subclasses to copy their own slots into ``clone``."""
 
     def degree_histogram(self, bins: int = 10) -> List[Tuple[int, int]]:
         """Coarse log-ish histogram of node degrees, for dataset cards.

@@ -1,0 +1,65 @@
+"""Fast smoke test for the delta-freeze perf plumbing.
+
+Runs ``benchmarks/bench_delta_freeze.py`` end-to-end at a tiny scale and
+asserts the run table regenerates and the incremental path was actually
+exercised — so the benchmark (and the ``BENCH_delta.json`` trajectory
+later PRs gate against) cannot silently rot.  The ≥2x speedup gate
+itself only applies at the benchmark's own scale, not here.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+BENCH_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "bench_delta_freeze.py"
+)
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location("bench_delta_freeze", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_delta_regenerates_and_exercises_delta_path(tmp_path):
+    bench = _load_bench_module()
+    out_path = tmp_path / "BENCH_delta.json"
+    # run_bench itself asserts full-vs-delta parity (same mapping, same
+    # caches, same events) and that at least one incremental freeze ran.
+    payload = bench.run_bench(scale=0.05, out_path=out_path)
+
+    assert out_path.exists()
+    on_disk = json.loads(out_path.read_text())
+    assert on_disk == payload
+
+    for key in (
+        "scale",
+        "n_nodes",
+        "n_edges",
+        "stream_blocks",
+        "full_loop_seconds",
+        "delta_loop_seconds",
+        "speedup",
+        "full_freeze_stats",
+        "delta_freeze_stats",
+        "frontier_freeze_ms",
+        "full_freeze_ms",
+    ):
+        assert key in payload, key
+
+    assert payload["delta_freeze_stats"]["delta"] > 0
+    assert payload["full_freeze_stats"]["delta"] == 0
+    assert payload["delta_loop_seconds"] > 0
+    assert set(payload["frontier_freeze_ms"]) == {"8", "32", "128"}
+
+
+def test_committed_run_table_is_current():
+    """The checked-in BENCH_delta.json must match the bench's schema, so
+    the perf trajectory stays comparable across PRs."""
+    committed = BENCH_PATH.parent / "BENCH_delta.json"
+    assert committed.exists(), "run benchmarks/bench_delta_freeze.py to regenerate"
+    payload = json.loads(committed.read_text())
+    assert payload["speedup"] >= 2.0
+    assert payload["delta_freeze_stats"]["delta"] > 0

@@ -92,6 +92,55 @@ class TestStateIntegrity:
             mappings.append(controller.allocation.mapping())
         assert mappings[0] == mappings[1]
 
+    def test_hash_order_independent_ingest(self):
+        """Two controllers fed permuted, duplicate-laden account lists
+        must produce identical caches *float for float*: observe_block
+        ingests in sorted deduplicated order, so the allocation's
+        accumulations never depend on set iteration order."""
+        params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=2, tau2=6)
+        blocks = block_stream(10)
+        import random
+
+        rng = random.Random(42)
+        controllers = []
+        for permute in (False, True):
+            controller = TxAlloController(params, seed_transactions=[("a", "b")])
+            for block in blocks:
+                if permute:
+                    block = [
+                        tuple(rng.sample(list(accs) + [accs[0]], len(accs) + 1))
+                        for accs in block
+                    ]
+                controller.observe_block(block)
+            controller.force_adaptive()
+            controllers.append(controller)
+        first, second = controllers
+        assert first.allocation.mapping() == second.allocation.mapping()
+        assert first.allocation.sigma == second.allocation.sigma      # exact
+        assert first.allocation.lam_hat == second.allocation.lam_hat  # exact
+
+    def test_incremental_freezes_on_the_block_loop(self):
+        """The controller path must ride the delta-freeze: after the
+        seeded global run, scheduled updates extend the snapshot."""
+        params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=1, tau2=50)
+        controller = TxAlloController(
+            params, seed_transactions=[b for blk in block_stream(12) for b in blk]
+        )
+        for block in block_stream(8, block_size=10, seed=10):
+            controller.observe_block(block)
+        stats = controller.freeze_stats
+        assert stats["delta"] > 0
+        assert stats["delta"] >= stats["full"]
+
+    def test_seed_event_times_like_scheduled_globals(self):
+        """Satellite pin: the seed UpdateEvent carries wall-clock seconds
+        around the g_txallo call, same semantics as _run_global."""
+        params = TxAlloParams(k=2, eta=2.0, lam=1000.0, tau1=5, tau2=10)
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        seed_event = controller.events[0]
+        assert seed_event.kind == "global"
+        assert seed_event.seconds > 0.0
+
     def test_adaptive_disabled(self):
         params = TxAlloParams(k=2, eta=2.0, lam=1000.0, tau1=1, tau2=100)
         controller = TxAlloController(

@@ -1,0 +1,258 @@
+"""Delta-freeze property tests: incremental CSR == cold CSR, element-wise.
+
+``TransactionGraph.freeze`` may extend the previous snapshot via
+``CSRGraph.extend`` instead of re-lowering the whole graph.  That path is
+only allowed to exist because its output is **element-identical** to a
+cold ``CSRGraph.from_graph`` of the same graph — same node interning,
+same row contents in the same order, bit-identical ``weights`` / ``loop``
+/ ``ext`` (compared via ``tobytes``), same insertion permutation.  These
+tests pin that contract across randomized ingest / decay / allocate
+interleavings, plus the cache/delta bookkeeping around it.
+"""
+
+import random
+
+import pytest
+
+from repro.core.atxallo import a_txallo
+from repro.core.csr import CSRGraph
+from repro.core.forecast import DecayingTransactionGraph
+from repro.core.graph import DELTA_REBUILD_FRACTION, TransactionGraph
+from repro.core.gtxallo import g_txallo
+from repro.core.params import TxAlloParams
+from repro.errors import GraphError
+
+SEEDS = (1, 2, 3, 4, 5)
+
+
+def assert_csr_identical(got: CSRGraph, want: CSRGraph) -> None:
+    """Field-by-field equality; float arrays compared bit-for-bit."""
+    assert got.nodes == want.nodes
+    assert got.index_of == want.index_of
+    assert got.indptr == want.indptr
+    assert got.indices == want.indices
+    assert got.weights.tobytes() == want.weights.tobytes()
+    assert got.loop.tobytes() == want.loop.tobytes()
+    assert got.ext.tobytes() == want.ext.tobytes()
+    assert got.pairs == want.pairs
+    assert got.sorted_order == want.sorted_order
+    assert got.sorted_rank == want.sorted_rank
+    assert got.num_edges == want.num_edges
+    assert got.total_weight == want.total_weight
+
+
+def seed_graph(rng, graph, accounts, num_transactions):
+    for _ in range(num_transactions):
+        graph.add_transaction(rng.sample(accounts, rng.choice([1, 2, 2, 2, 3])))
+
+
+class TestExtendElementIdentity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_randomized_ingest_interleavings(self, seed):
+        """Mutate-freeze-compare loops over weight updates, new edges,
+        new connected accounts and new isolated accounts."""
+        rng = random.Random(seed)
+        accounts = [f"acc{i:03d}" for i in range(300)]
+        g = TransactionGraph()
+        seed_graph(rng, g, accounts, 1500)
+        g.freeze()
+        for step in range(25):
+            for _ in range(rng.randrange(1, 10)):
+                roll = rng.random()
+                if roll < 0.5:
+                    g.add_transaction(rng.sample(accounts, 2))
+                elif roll < 0.65:
+                    g.add_transaction([rng.choice(accounts)])  # self-loop
+                elif roll < 0.9:
+                    g.add_transaction(
+                        [f"new{seed}_{step}_{rng.randrange(3)}", rng.choice(accounts)]
+                    )
+                else:
+                    g.add_node(f"iso{seed}_{step}")
+            assert_csr_identical(g.freeze(), CSRGraph.from_graph(g))
+        assert g.freeze_stats["delta"] > 0, "delta path never exercised"
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_ingest_decay_allocate_interleavings(self, seed):
+        """The controller-shaped lifecycle: ingest blocks, run the
+        allocators (which freeze), decay windows in between."""
+        rng = random.Random(seed)
+        accounts = [f"acc{i:03d}" for i in range(200)]
+        g = DecayingTransactionGraph(decay=0.8, prune_threshold=1e-3)
+        seed_graph(rng, g, accounts, 1200)
+        params = TxAlloParams.with_capacity_for(1200, k=4, eta=2.0)
+        alloc = g_txallo(g, params).allocation
+        for step in range(8):
+            if rng.random() < 0.4:
+                g.advance_window()
+                # Decay rewrites rows out of band: the next freeze must
+                # fall back to a full rebuild, not extend a stale base.
+                full_before = g.freeze_stats["full"]
+                assert_csr_identical(g.freeze(), CSRGraph.from_graph(g))
+                assert g.freeze_stats["full"] == full_before + 1
+                alloc = g_txallo(g, params).allocation
+            touched = set()
+            for _ in range(rng.randrange(3, 12)):
+                accs = rng.sample(accounts, 2)
+                if rng.random() < 0.2:
+                    accs.append(f"fresh{seed}_{step}")
+                g.add_transaction(accs)
+                alloc.ingest_transaction(accs)
+                touched.update(accs)
+            a_txallo(alloc, touched)
+            assert_csr_identical(g.freeze(), CSRGraph.from_graph(g))
+        assert g.freeze_stats["delta"] > 0
+
+    def test_extend_from_empty_base(self):
+        g = TransactionGraph()
+        g.freeze()  # snapshot of the empty graph
+        g.add_transaction(("b", "a"))
+        g.add_transaction(("c",))
+        assert_csr_identical(g.freeze(), CSRGraph.from_graph(g))
+
+    def test_new_nodes_append_ids_sorted_order_tracks(self):
+        g = TransactionGraph()
+        g.add_transaction(("m", "z"))
+        g.freeze()
+        g.add_transaction(("a", "m"))  # sorts first, but ids are stable
+        csr = g.freeze()
+        assert_csr_identical(csr, CSRGraph.from_graph(g))
+        assert csr.index_of == {"m": 0, "z": 1, "a": 2}
+        assert [csr.nodes[i] for i in csr.sorted_order] == ["a", "m", "z"]
+
+
+class TestDeltaBookkeeping:
+    def big_graph(self, n=200, txs=800, seed=7):
+        rng = random.Random(seed)
+        accounts = [f"acc{i:03d}" for i in range(n)]
+        g = TransactionGraph()
+        seed_graph(rng, g, accounts, txs)
+        return g, accounts
+
+    def test_small_delta_extends_large_delta_rebuilds(self):
+        g, accounts = self.big_graph()
+        g.freeze()
+        g.add_transaction((accounts[0], accounts[1]))
+        g.freeze()
+        assert g.freeze_stats == {"full": 1, "delta": 1, "cached": 0}
+        # Touch (far) more than DELTA_REBUILD_FRACTION of the nodes:
+        # the incremental path must step aside for a full rebuild.
+        n = g.num_nodes
+        frontier = accounts[: int(n * DELTA_REBUILD_FRACTION) + 2]
+        for a in frontier:
+            g.add_transaction((a, accounts[-1]))
+        assert_csr_identical(g.freeze(), CSRGraph.from_graph(g))
+        assert g.freeze_stats["full"] == 2
+
+    def test_unchanged_graph_returns_cached_snapshot(self):
+        g, _ = self.big_graph()
+        first = g.freeze()
+        assert g.freeze() is first
+        assert g.freeze_stats["cached"] == 1
+
+    def test_extended_snapshot_is_detached_from_base(self):
+        g, accounts = self.big_graph()
+        base = g.freeze()
+        g.add_transaction(("zzz_new", accounts[0]))
+        extended = g.freeze()
+        assert extended is not base
+        assert "zzz_new" in extended.index_of
+        assert "zzz_new" not in base.index_of
+        assert base.num_edges == g.num_edges - 1
+
+    def test_delta_freeze_can_be_disabled(self):
+        g, accounts = self.big_graph()
+        g.delta_freeze_enabled = False
+        assert not g.delta_freeze_enabled
+        g.freeze()
+        g.add_transaction((accounts[0], accounts[1]))
+        assert_csr_identical(g.freeze(), CSRGraph.from_graph(g))
+        assert g.freeze_stats["delta"] == 0
+        assert g.freeze_stats["full"] == 2
+
+    def test_reenabling_delta_freeze_never_serves_stale_snapshots(self):
+        """Regression: mutations made while delta-freeze is disabled are
+        unlogged, so re-enabling must poison the log — extending the old
+        base with an empty delta would cache a snapshot missing them."""
+        g, accounts = self.big_graph()
+        g.freeze()
+        g.delta_freeze_enabled = False
+        g.add_transaction(("zz_disabled_era", accounts[0]))
+        g.delta_freeze_enabled = True
+        csr = g.freeze()
+        assert "zz_disabled_era" in csr.index_of
+        assert_csr_identical(csr, CSRGraph.from_graph(g))
+
+    def test_copy_starts_with_cold_cache_and_fresh_counters(self):
+        g, accounts = self.big_graph()
+        g.freeze()
+        g.add_transaction((accounts[0], accounts[1]))
+        g.freeze()
+        clone = g.copy()
+        assert clone.freeze_stats == {"full": 0, "delta": 0, "cached": 0}
+        assert_csr_identical(clone.freeze(), CSRGraph.from_graph(g))
+
+    def test_a_txallo_fast_rejects_nodes_missing_from_graph(self):
+        g, accounts = self.big_graph()
+        params = TxAlloParams.with_capacity_for(800, k=3, backend="fast")
+        alloc = g_txallo(g, params).allocation
+        with pytest.raises(GraphError):
+            a_txallo(alloc, ["never-ingested"])
+
+
+class TestDecayFreezeInterplay:
+    def test_decay_invalidates_snapshot_and_rebuilds_fully(self):
+        g = DecayingTransactionGraph(decay=0.5)
+        g.add_transactions([("a", "b"), ("b", "c")])
+        stale = g.freeze()
+        g.advance_window()
+        fresh = g.freeze()
+        assert fresh is not stale
+        assert g.freeze_stats["full"] == 2 and g.freeze_stats["delta"] == 0
+        assert fresh.total_weight == pytest.approx(1.0)
+
+    def test_pruned_isolated_nodes_round_trip_through_freeze(self):
+        g = DecayingTransactionGraph(decay=0.1, prune_threshold=0.05)
+        g.add_transaction(("a", "b"))
+        g.add_transaction(("keep1", "keep2"))
+        g.freeze()
+        g.advance_window()           # everything survives at 0.1
+        g.add_transaction(("keep1", "keep2"))  # refresh one edge
+        g.advance_window()           # a-b fades below threshold, pruned
+        assert "a" not in g and "b" not in g
+        csr = g.freeze()
+        assert_csr_identical(csr, CSRGraph.from_graph(g))
+        assert sorted(csr.nodes) == ["keep1", "keep2"]
+        # ...and the delta machinery recovers once growth is monotone again.
+        g.add_transaction(("keep1", "keep3"))
+        assert_csr_identical(g.freeze(), CSRGraph.from_graph(g))
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_a_txallo_on_decayed_graph_matches_reference(self, seed):
+        """A-TxAllo sweeps after window decay: fast == reference, exactly."""
+        results = {}
+        for backend in ("reference", "fast"):
+            rng = random.Random(seed)
+            accounts = [f"acc{i:03d}" for i in range(120)]
+            g = DecayingTransactionGraph(decay=0.6, prune_threshold=1e-3)
+            seed_graph(rng, g, accounts, 700)
+            params = TxAlloParams.with_capacity_for(700, k=4, eta=2.0, backend=backend)
+            alloc = g_txallo(g, params).allocation
+            stats = []
+            for step in range(3):
+                g.advance_window()
+                alloc = g_txallo(g, params).allocation
+                touched = set()
+                for _ in range(25):
+                    accs = rng.sample(accounts, 2)
+                    g.add_transaction(accs)
+                    alloc.ingest_transaction(accs)
+                    touched.update(accs)
+                res = a_txallo(alloc, touched)
+                stats.append((res.new_nodes, res.swept_nodes, res.sweeps, res.moves))
+            results[backend] = (alloc.mapping(), alloc.sigma, alloc.lam_hat, stats)
+        ref, fast = results["reference"], results["fast"]
+        assert ref[0] == fast[0]
+        assert ref[1] == fast[1]   # exact floats
+        assert ref[2] == fast[2]   # exact floats
+        assert ref[3] == fast[3]

@@ -115,6 +115,25 @@ class TestDecay:
         g.ingest_window([("a", "b")])
         assert g.windows_advanced == 2
 
+    def test_copy_preserves_class_and_decay_state(self):
+        """Regression: the inherited ``TransactionGraph.copy`` used to
+        build a plain ``TransactionGraph``, dropping ``decay``,
+        ``prune_threshold`` and the window counter."""
+        g = DecayingTransactionGraph(decay=0.7, prune_threshold=0.01)
+        g.add_transaction(("a", "b"))
+        g.advance_window()
+        clone = g.copy()
+        assert type(clone) is DecayingTransactionGraph
+        assert clone.decay == 0.7
+        assert clone.prune_threshold == 0.01
+        assert clone.windows_advanced == 1
+        assert clone.edge_weight("a", "b") == pytest.approx(0.7)
+        # The clone decays independently of the original.
+        clone.advance_window()
+        assert clone.edge_weight("a", "b") == pytest.approx(0.49)
+        assert g.edge_weight("a", "b") == pytest.approx(0.7)
+        assert g.windows_advanced == 1
+
     def test_recent_window_outweighs_old(self):
         g = DecayingTransactionGraph(decay=0.5)
         g.ingest_window([("a", "b")] * 4)

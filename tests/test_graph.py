@@ -277,11 +277,27 @@ class TestFreeze:
         g.add_node("island")
         return g
 
-    def test_freeze_interns_in_sorted_order(self):
-        csr = self.small_graph().freeze()
+    def test_freeze_interns_in_insertion_order(self):
+        g = self.small_graph()
+        csr = g.freeze()
+        # Ids follow chronological appearance (add_transaction ingests
+        # each transaction's accounts in sorted order, so "a" precedes
+        # "b" here), stable under incremental growth ...
         assert csr.nodes == ["a", "b", "c", "island"]
+        assert csr.nodes == list(g.nodes())
         assert csr.index_of["a"] == 0
         assert csr.num_nodes == 4
+        # ... and the canonical ascending-identifier sweep order is the
+        # sorted_order permutation.
+        assert [csr.nodes[i] for i in csr.sorted_order] == ["a", "b", "c", "island"]
+        # Ids diverge from sorted order once a later transaction brings
+        # in an earlier-sorting account.
+        g.add_transaction(("aaa", "c"))
+        csr = g.freeze()
+        assert csr.index_of["aaa"] == 4
+        assert [csr.nodes[i] for i in csr.sorted_order] == [
+            "a", "aaa", "b", "c", "island",
+        ]
 
     def test_freeze_mirrors_adjacency(self):
         g = self.small_graph()
@@ -316,10 +332,11 @@ class TestFreeze:
         g.add_node("a")  # no-op: already present
         assert g.freeze() is first
 
-    def test_insertion_permutation_roundtrips(self):
+    def test_sorted_permutation_roundtrips(self):
         g = self.small_graph()
         csr = g.freeze()
-        order = [csr.nodes[i] for i in csr.ins_order]
-        assert order == list(g.nodes())
+        assert list(csr.nodes) == list(g.nodes())  # ids == insertion order
+        order = [csr.nodes[i] for i in csr.sorted_order]
+        assert order == g.nodes_sorted()
         for i in range(csr.num_nodes):
-            assert csr.ins_order[csr.ins_rank[i]] == i
+            assert csr.sorted_order[csr.sorted_rank[i]] == i
