@@ -10,7 +10,9 @@ blockchain (fully replicated state, sharded processing) would:
 2. reshuffle miners deterministically into k shards (Section II-B's
    defence against single-shard take-over, and the reason every shard
    has equal capacity λ);
-3. allocate accounts with G-TxAllo and verify determinism — two
+3. allocate accounts with G-TxAllo — resolved by name through the
+   allocator registry (:mod:`repro.allocators`), the same seam every
+   harness and the CLI dispatch through — and verify determinism: two
    independent "miners" compute byte-identical mappings, which is what
    lets the protocol skip an extra consensus round (Section IV-A);
 4. run the discrete-time shard simulator and check the analytic
@@ -23,7 +25,7 @@ Run with::
 
 import argparse
 
-from repro import TransactionGraph, TxAlloParams, evaluate_allocation, g_txallo
+from repro import TransactionGraph, TxAlloParams, allocators, evaluate_allocation
 from repro.chain import (
     CrossShardCoordinator,
     MinerPool,
@@ -78,7 +80,10 @@ def main() -> None:
         for s in sets_:
             graph.add_transaction(s)
         params = TxAlloParams.with_capacity_for(len(sets_), k=args.k, eta=eta)
-        return params, g_txallo(graph, params).allocation.mapping()
+        # Registry dispatch: the same lookup the eval harness and the
+        # CLI use; swapping the method name swaps the whole pipeline.
+        allocator = allocators.get("txallo")
+        return params, allocator.allocate(graph, params)
 
     params, mapping_miner_a = miner_computes_allocation()
     _, mapping_miner_b = miner_computes_allocation()

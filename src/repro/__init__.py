@@ -15,6 +15,14 @@ Quickstart::
     params = TxAlloParams.with_capacity_for(graph.num_transactions, k=2)
     result = g_txallo(graph, params)
     print(result.allocation.mapping())
+
+Every allocation method (TxAllo and all baselines) is also reachable by
+name through the unified registry::
+
+    from repro import allocators
+
+    mapping = allocators.get("metis").allocate(graph, params)
+    print(allocators.available())
 """
 
 from repro.core import (
@@ -30,11 +38,13 @@ from repro.core import (
     g_txallo,
     louvain_partition,
 )
+from repro import allocators
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Allocation",
+    "allocators",
     "ATxAlloResult",
     "GTxAlloResult",
     "MetricsReport",

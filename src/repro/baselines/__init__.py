@@ -7,6 +7,16 @@
   (Fynn et al., Mizrahi & Rottenstreich, BrokerChain);
 * :mod:`repro.baselines.shard_scheduler` — the transaction-level online
   allocator of Krol et al. (AFT'21).
+
+Every baseline is adapted onto the unified allocator protocol
+(:mod:`repro.core.allocator`) and registered by name in
+:mod:`repro.allocators` — ``random`` (alias ``hash``), ``prefix``,
+``metis`` as :class:`~repro.core.allocator.StaticAllocator` wrappers,
+``shard_scheduler`` as an
+:class:`~repro.core.allocator.OnlineAllocator` — so the figure runners,
+the live network and the CLI drive them through the same interface as
+TxAllo itself.  The modules here stay framework-free (plain functions
+and classes); the protocol adapters live with the registry.
 """
 
 from repro.baselines.hash_allocation import (

@@ -4,14 +4,25 @@
 all workload present at t=0, drained at rate λ.  This module simulates
 the *deployed* setting instead: transactions arrive over time, each tick
 is one block interval, every shard processes up to λ workload per tick,
-and a :class:`~repro.core.controller.TxAlloController` (or any static
-mapping) decides where accounts live *as the system runs*.
+and any :class:`~repro.core.allocator.OnlineAllocator` decides where
+accounts live *as the system runs*.
+
+The network is allocator-agnostic: it speaks only the allocator
+protocol (``observe_block`` before routing, ``shard_of`` for every
+account, ``freeze_stats`` for the report).  The dynamic
+:class:`~repro.core.controller.TxAlloController`, the online Shard
+Scheduler, and any static mapping frozen into a
+:class:`~repro.core.allocator.FixedMappingAllocator` all plug in through
+the same seam — a plain account→shard dict is auto-wrapped, with the
+protocol's hash fallback (not a hard-coded shard 0) routing accounts the
+mapping misses.  :func:`repro.allocators.get_online` builds any
+registered method in live form.
 
 A cross-shard transaction completes only when **every** involved shard
 has processed its slice (the 2PC atomicity of Section II-B); its
 end-to-end latency is the maximum over shards.  New accounts appearing
-in live traffic are routed by the controller's current allocation, which
-A-TxAllo extends on its next scheduled run.
+in live traffic are routed by the allocator's fallback policy until its
+next scheduled update places them.
 
 With a :class:`TxAlloController` allocator the tick loop no longer pays
 repeated from-scratch graph freezes: each block's ingest perturbs only a
@@ -22,17 +33,19 @@ for the run.
 
 This closes the loop the paper argues for qualitatively: with TxAllo
 steering allocation, the same network sustains a higher committed TPS
-than with hash allocation — ``tests/test_live.py`` asserts exactly that.
+than with hash allocation — ``tests/test_live.py`` asserts exactly that,
+and :func:`repro.eval.experiments.live_compare` tables it for the whole
+method set.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.chain.shard import ShardState
 from repro.chain.types import Transaction
-from repro.core.controller import TxAlloController
+from repro.core.allocator import OnlineAllocator, ensure_online
 from repro.core.params import TxAlloParams
 from repro.errors import SimulationError
 
@@ -46,7 +59,9 @@ class TickStats:
     committed: int
     cross_shard_arrived: int
     backlog_workload: float
-    allocation_update: Optional[str]  # "global" / "adaptive" / None
+    #: Allocation-update kind reported by the allocator this tick
+    #: ("global" / "adaptive" / "migration" / ...), or None.
+    allocation_update: Optional[str]
 
 
 @dataclasses.dataclass
@@ -60,7 +75,7 @@ class LiveReport:
     p99_latency: int
     cross_shard_ratio: float
     #: Controller-graph snapshot counters ({"full", "delta", "cached"});
-    #: None for static allocators, which never freeze a graph.
+    #: None for allocators that never freeze a graph.
     freeze_stats: Optional[Dict[str, int]] = None
 
     @property
@@ -73,20 +88,20 @@ class LiveReport:
 class LiveShardedNetwork:
     """Tick-driven network of ``k`` shards with pluggable allocation.
 
-    ``allocator`` is either a static ``dict`` account→shard (accounts
-    missing from it are routed to shard ``hash-free`` 0 — pass a complete
-    mapping for static runs) or a :class:`TxAlloController`, whose
-    allocation is consulted live and which observes every block of
-    arriving transactions.
+    ``allocator`` is anything :func:`~repro.core.allocator.ensure_online`
+    accepts: an :class:`OnlineAllocator` (driven live — it observes every
+    block of arriving transactions and is consulted for every routing
+    decision) or a static ``dict`` account→shard (frozen, with the hash
+    fallback routing accounts it misses).
     """
 
     def __init__(
         self,
         params: TxAlloParams,
-        allocator,
+        allocator: Union[OnlineAllocator, Mapping[str, int]],
     ) -> None:
         self.params = params
-        self.allocator = allocator
+        self.allocator: OnlineAllocator = ensure_online(allocator, params)
         self.shards: List[ShardState] = [
             ShardState(i, params.lam) for i in range(params.k)
         ]
@@ -102,17 +117,7 @@ class LiveShardedNetwork:
 
     # ------------------------------------------------------------------
     def _shard_of(self, account: str) -> int:
-        if isinstance(self.allocator, TxAlloController):
-            shard = self.allocator.allocation.shard_of_or_none(account)
-            if shard is not None:
-                return shard
-            # Account not yet allocated (arrived this tick, A-TxAllo has
-            # not run): fall back deterministically until it is.
-            return 0
-        try:
-            return self.allocator[account]
-        except KeyError:
-            return 0
+        return self.allocator.shard_of(account)
 
     def _route(self, tx: Transaction) -> None:
         involved = sorted({self._shard_of(a) for a in tx.accounts})
@@ -138,15 +143,13 @@ class LiveShardedNetwork:
         """One block interval: ingest arrivals, let every shard work."""
         incoming = list(incoming)
 
-        # The controller learns about the block *and* may update the
+        # The allocator learns about the block *and* may update the
         # allocation; routing below uses the updated mapping (the paper
         # applies a fresh mapping from the next block onward).
-        update = None
-        if isinstance(self.allocator, TxAlloController):
-            event = self.allocator.observe_block(
-                [tuple(tx.accounts) for tx in incoming]
-            )
-            update = event.kind if event is not None else None
+        event = self.allocator.observe_block(
+            [tuple(tx.accounts) for tx in incoming]
+        )
+        update = event.kind if event is not None else None
 
         for tx in incoming:
             self._route(tx)
@@ -216,9 +219,5 @@ class LiveShardedNetwork:
             cross_shard_ratio=(
                 self._cross_arrived / self._arrived if self._arrived else 0.0
             ),
-            freeze_stats=(
-                self.allocator.freeze_stats
-                if isinstance(self.allocator, TxAlloController)
-                else None
-            ),
+            freeze_stats=self.allocator.freeze_stats,
         )

@@ -3,9 +3,17 @@
 Examples::
 
     txallo fig2 --scale 0.5 --ks 2,10,20 --etas 2,6
-    txallo fig4
+    txallo fig4 --methods txallo,metis,prefix
     txallo fig9 --k 20 --gaps 20,100
+    txallo live-compare --k 8 --scale 0.25
     txallo all --scale 0.25
+
+``--methods`` accepts any allocator name registered in
+:mod:`repro.allocators` (``txallo``, ``random``/``hash``, ``prefix``,
+``metis``, ``shard_scheduler``, ``txallo_online``, plus anything you
+register yourself); ``live-compare`` runs the selected methods through
+the tick-driven :class:`~repro.chain.live.LiveShardedNetwork` and prints
+a per-method committed-TPS / cross-shard / latency table.
 
 Every command prints a table plus an ASCII chart; no plotting stack is
 required.  ``python -m repro`` is an alias for the ``txallo`` script.
@@ -17,6 +25,8 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro import allocators
+from repro.errors import ParameterError
 from repro.eval import experiments
 
 _SWEEP_FIGURES = {
@@ -37,6 +47,10 @@ def _parse_float_list(text: str) -> List[float]:
     return [float(chunk) for chunk in text.split(",") if chunk.strip()]
 
 
+def _parse_str_list(text: str) -> List[str]:
+    return [chunk.strip() for chunk in text.split(",") if chunk.strip()]
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="txallo",
@@ -44,8 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(_SWEEP_FIGURES) + ["fig1", "fig4", "fig9", "fig10", "all"],
-        help="which figure to regenerate ('all' runs everything)",
+        choices=sorted(_SWEEP_FIGURES)
+        + ["fig1", "fig4", "fig9", "fig10", "live-compare", "all"],
+        help="which figure to regenerate ('all' runs every figure; "
+        "'live-compare' runs the method set through the live network)",
     )
     parser.add_argument(
         "--scale", type=float, default=0.5,
@@ -77,6 +93,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="max adaptive steps for fig9/fig10 (0 = all windows)",
     )
     parser.add_argument(
+        "--methods", type=_parse_str_list, default=None,
+        help="comma-separated allocator names from the registry "
+             f"(default {','.join(experiments.METHODS)}; "
+             "see repro.allocators.available())",
+    )
+    parser.add_argument(
+        "--lam", type=float, default=None,
+        help="per-shard capacity per tick for live-compare "
+             "(default: auto from the live block size)",
+    )
+    parser.add_argument(
         "--backend", choices=["fast", "reference"], default="fast",
         help="TxAllo engine: 'fast' (flat-array CSR sweep engine) or "
              "'reference' (dict-based executable spec); outputs are "
@@ -87,6 +114,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    methods = tuple(args.methods) if args.methods else experiments.METHODS
+    try:
+        for method in methods:
+            allocators.get_entry(method)  # fail fast with the known names
+    except ParameterError as exc:
+        print(f"txallo: {exc}", file=sys.stderr)
+        return 2
     workload = experiments.build_workload(scale=args.scale, seed=args.seed)
     ks = args.ks or list(experiments.DEFAULT_KS)
     etas = args.etas or list(experiments.DEFAULT_ETAS)
@@ -96,12 +130,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     records = None
     for figure in wanted:
-        if figure == "fig1":
+        if figure == "live-compare":
+            print(
+                experiments.live_compare(
+                    workload, k=args.k, eta=args.eta,
+                    methods=methods, lam=args.lam,
+                ).render()
+            )
+        elif figure == "fig1":
             print(experiments.figure1(workload).render())
         elif figure == "fig4":
             print(
                 experiments.figure4(
-                    workload, k=args.k, eta=args.eta, backend=args.backend
+                    workload, k=args.k, eta=args.eta, methods=methods,
+                    backend=args.backend,
                 ).render()
             )
         elif figure == "fig9":
@@ -122,7 +164,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             if records is None:
                 records = experiments.sweep(
-                    workload, ks=ks, etas=etas, backend=args.backend
+                    workload, ks=ks, etas=etas, methods=methods,
+                    backend=args.backend,
                 )
             print(_SWEEP_FIGURES[figure](records).render())
         print()

@@ -1,6 +1,35 @@
-"""Core TxAllo machinery: transaction graph, metrics and the two algorithms."""
+"""Core TxAllo machinery: transaction graph, metrics and the two algorithms.
+
+Besides the graph/objective/algorithm stack, this package owns the
+**unified allocator protocol** (:mod:`repro.core.allocator`): every
+allocation method — TxAllo itself and every baseline — is either a
+:class:`StaticAllocator` (``allocate(graph, params) -> mapping``, plus a
+deterministic ``default_shard`` fallback) or an :class:`OnlineAllocator`
+(``observe_block(block)`` / total ``shard_of(account)`` / ``mapping()``,
+with ``run_stream`` for processing-time analytic accounting).  The chain
+simulators, the figure runners and the CLI all dispatch through that
+protocol; the string-keyed registry over it lives in
+:mod:`repro.allocators`.
+
+To add an allocation method: implement one of the two protocol classes
+(or wrap a ``(graph, params) -> mapping`` function in
+:class:`FunctionAllocator`) and register it with
+``repro.allocators.register(...)`` — every harness, comparison figure
+and CLI flag picks it up by name.
+"""
 
 from repro.core.allocation import Allocation, capped_throughput
+from repro.core.allocator import (
+    AllocationUpdate,
+    AllocatorBase,
+    FixedMappingAllocator,
+    FunctionAllocator,
+    OnlineAllocator,
+    OnlineRunResult,
+    StaticAllocator,
+    ensure_online,
+    hash_fallback_shard,
+)
 from repro.core.forecast import (
     DecayingTransactionGraph,
     forecast_error,
@@ -46,7 +75,16 @@ from repro.core.params import TxAlloParams
 __all__ = [
     "Allocation",
     "AllocationCheckpoint",
+    "AllocationUpdate",
+    "AllocatorBase",
     "CSRGraph",
+    "FixedMappingAllocator",
+    "FunctionAllocator",
+    "OnlineAllocator",
+    "OnlineRunResult",
+    "StaticAllocator",
+    "ensure_online",
+    "hash_fallback_shard",
     "DecayingTransactionGraph",
     "RoleAwareModel",
     "ShardRole",

@@ -26,6 +26,7 @@ import time
 from typing import Iterable, List, Optional, Sequence, Set
 
 from repro.core.allocation import Allocation
+from repro.core.allocator import OnlineAllocator, hash_fallback_shard
 from repro.core.atxallo import a_txallo
 from repro.core.graph import Node, TransactionGraph
 from repro.core.gtxallo import g_txallo
@@ -43,8 +44,8 @@ class UpdateEvent:
     touched: int
 
 
-class TxAlloController:
-    """Drives TxAllo over a stream of blocks.
+class TxAlloController(OnlineAllocator):
+    """Drives TxAllo over a stream of blocks (the online allocator).
 
     Typical use::
 
@@ -58,18 +59,35 @@ class TxAlloController:
     global algorithm takes precedence when both are due, and resets the
     adaptive touched-set, exactly as a fresh global allocation subsumes any
     pending adaptive work.
+
+    ``graph`` adopts a pre-built transaction graph (the controller owns
+    and mutates it from then on); ``initial_mapping`` starts from a given
+    partition instead of running a seed G-TxAllo — together they let
+    replay/evaluation harnesses (Figs. 9-10) resume the exact state a
+    previous global run produced, through the same code path the live
+    network exercises.
+
+    As an :class:`~repro.core.allocator.OnlineAllocator`,
+    :meth:`shard_of` is total: an account awaiting its first A-TxAllo
+    assignment is co-located with its heaviest assigned neighbourhood
+    (ties toward the smaller shard), falling back to the protocol's hash
+    rule for accounts with no placed neighbours.
     """
+
+    name = "txallo_online"
 
     def __init__(
         self,
         params: TxAlloParams,
         seed_transactions: Optional[Iterable[Sequence[Node]]] = None,
         *,
+        graph: Optional[TransactionGraph] = None,
+        initial_mapping: Optional[dict] = None,
         adaptive_enabled: bool = True,
         global_enabled: bool = True,
     ) -> None:
         self.params = params
-        self.graph = TransactionGraph()
+        self.graph = graph if graph is not None else TransactionGraph()
         self.block_height = 0
         self.events: List[UpdateEvent] = []
         self._touched: Set[Node] = set()
@@ -81,14 +99,21 @@ class TxAlloController:
         # Same timing semantics as _run_global: wall-clock around the
         # whole call, so the seed event is comparable to scheduled ones.
         t0 = time.perf_counter()
-        result = g_txallo(self.graph, params)
-        self.allocation: Allocation = result.allocation
+        if initial_mapping is not None:
+            self.allocation: Allocation = Allocation.from_partition(
+                self.graph, params, initial_mapping
+            )
+            moves = 0
+        else:
+            result = g_txallo(self.graph, params)
+            self.allocation = result.allocation
+            moves = result.moves
         self.events.append(
             UpdateEvent(
                 kind="global",
                 block_height=0,
                 seconds=time.perf_counter() - t0,
-                moves=result.moves,
+                moves=moves,
                 touched=self.graph.num_nodes,
             )
         )
@@ -115,6 +140,30 @@ class TxAlloController:
         if self._adaptive_enabled and self.block_height % self.params.tau1 == 0:
             return self._run_adaptive()
         return None
+
+    # ------------------------------------------------------------------
+    def shard_of(self, account: Node) -> int:
+        """Current shard of ``account`` — total (protocol contract).
+
+        Accounts A-TxAllo has not assigned yet are routed by the
+        controller itself: to the shard holding the largest share of the
+        account's already-assigned neighbourhood (ties toward the
+        smaller shard id), or by the hash fallback when the account has
+        no placed neighbours.  Deterministic either way, so every miner
+        routes identically between scheduled updates.
+        """
+        shard = self.allocation.shard_of_or_none(account)
+        if shard is not None:
+            return shard
+        if account in self.graph:
+            by_shard, _, _ = self.allocation.neighbour_shard_weights(account)
+            if by_shard:
+                return min(by_shard.items(), key=lambda kv: (-kv[1], kv[0]))[0]
+        return hash_fallback_shard(account, self.params.k)
+
+    def mapping(self) -> dict:
+        """Snapshot of the accounts the allocation has explicitly placed."""
+        return self.allocation.mapping()
 
     def force_global(self) -> UpdateEvent:
         """Run G-TxAllo immediately, regardless of the schedule."""

@@ -1,0 +1,47 @@
+"""CI gate on the committed engine benchmark (ROADMAP's standing bar).
+
+``benchmarks/BENCH_engine.json`` records the Fig. 8 evaluation-grid
+speedup of the flat-array CSR engine over the reference implementation.
+The ROADMAP keeps a standing >= 3x gate on that grid; this smoke loads
+the committed run table and fails the suite if a PR regresses below it.
+Skips cleanly when the file is absent (fresh checkout without bench
+artifacts) — regenerate with ``benchmarks/bench_engine_speedup.py``.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "BENCH_engine.json"
+)
+
+GRID_SPEEDUP_GATE = 3.0
+
+
+def _load_payload():
+    if not BENCH_PATH.exists():
+        pytest.skip(
+            "benchmarks/BENCH_engine.json absent; run "
+            "benchmarks/bench_engine_speedup.py to regenerate"
+        )
+    return json.loads(BENCH_PATH.read_text())
+
+
+def test_engine_grid_speedup_gate():
+    payload = _load_payload()
+    assert payload["speedup"] >= GRID_SPEEDUP_GATE, (
+        f"Fig. 8 grid speedup {payload['speedup']:.2f}x fell below the "
+        f"{GRID_SPEEDUP_GATE}x ROADMAP gate; rerun "
+        "benchmarks/bench_engine_speedup.py and investigate the regression"
+    )
+
+
+def test_engine_run_table_schema():
+    payload = _load_payload()
+    for key in ("scale", "grid_ks", "grid_etas", "ref_seconds", "fast_seconds"):
+        assert key in payload, key
+    assert payload["fast_seconds"] > 0.0

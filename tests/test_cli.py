@@ -23,6 +23,18 @@ class TestParser:
         args = build_parser().parse_args(["fig1"])
         assert args.scale == 0.5
         assert args.k == 20
+        assert args.methods is None
+
+    def test_methods_parsing(self):
+        args = build_parser().parse_args(
+            ["fig2", "--methods", "txallo, metis,prefix"]
+        )
+        assert args.methods == ["txallo", "metis", "prefix"]
+
+    def test_live_compare_accepted(self):
+        args = build_parser().parse_args(["live-compare", "--lam", "12.5"])
+        assert args.figure == "live-compare"
+        assert args.lam == 12.5
 
 
 class TestMain:
@@ -44,3 +56,24 @@ class TestMain:
     def test_fig10_small(self, capsys):
         assert main(["fig10", "--scale", "0.05", "--k", "4", "--steps", "3"]) == 0
         assert "Figure 10" in capsys.readouterr().out
+
+    def test_fig2_registry_methods(self, capsys):
+        assert main([
+            "fig2", "--scale", "0.05", "--ks", "2,4", "--etas", "2",
+            "--methods", "txallo,prefix",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Prefix" in out
+        assert "Shard Scheduler" not in out
+
+    def test_unknown_method_rejected(self, capsys):
+        assert main(["fig2", "--methods", "bogus"]) == 2
+        assert "unknown allocator" in capsys.readouterr().err
+
+    def test_live_compare_runs(self, capsys):
+        assert main(["live-compare", "--scale", "0.05", "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Live comparison" in out
+        assert "committed TPS" in out
+        for label in ("Our Method", "Random", "Metis", "Shard Scheduler"):
+            assert label in out

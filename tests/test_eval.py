@@ -62,7 +62,8 @@ class TestSweepAndFigures:
         fig = experiments.figure2(tiny_records)
         assert set(fig.panels) == {2.0, 6.0}
         panel = fig.panel(2.0)
-        assert set(panel) == set(experiments.METHOD_LABELS.values())
+        expected = {experiments.method_label(m) for m in experiments.METHODS}
+        assert set(panel) == expected
         for pts in panel.values():
             assert [x for x, _ in pts] == sorted(x for x, _ in pts)
 
@@ -92,7 +93,8 @@ class TestSweepAndFigures:
 
     def test_figure4_distributions(self, tiny_workload):
         report = experiments.figure4(tiny_workload, k=4, eta=2.0)
-        assert set(report.distributions) == set(experiments.METHOD_LABELS.values())
+        expected = {experiments.method_label(m) for m in experiments.METHODS}
+        assert set(report.distributions) == expected
         for dist in report.distributions.values():
             assert len(dist) == 4
         assert "capacity line" in report.render()

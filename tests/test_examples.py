@@ -48,6 +48,16 @@ def test_protocol_integration():
     assert "agree with the event-level simulation" in out
 
 
+def test_live_comparison():
+    out = run_example("live_comparison.py", "--scale", "0.05", "--k", "4")
+    assert "registered allocators" in out
+    assert "Live comparison" in out
+    for label in ("Our Method", "Random", "Metis", "Shard Scheduler"):
+        assert label in out
+    assert "round_robin" in out
+    assert "instantly comparable" in out
+
+
 def test_extensions_tour():
     out = run_example("extensions_tour.py")
     assert "digest matches" in out

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines.hash_allocation import hash_partition
+from repro.baselines.hash_allocation import hash_partition, hash_shard
 from repro.chain.live import LiveShardedNetwork
 from repro.chain.types import Transaction
 from repro.core.controller import TxAlloController
@@ -47,11 +47,19 @@ class TestStaticRouting:
         # The cross tx could not commit in its arrival tick.
         assert report.p99_latency >= 2
 
-    def test_unknown_account_routes_to_shard_zero(self):
-        params = TxAlloParams(k=3, eta=2.0, lam=10.0)
+    def test_unknown_account_routes_by_hash_fallback(self):
+        """Regression: accounts missing from a static mapping must route
+        by the protocol's hash fallback, not to a hard-coded shard 0
+        (which silently skewed every live run toward shard 0)."""
+        params = TxAlloParams(k=4, eta=2.0, lam=100.0)
         net = LiveShardedNetwork(params, {})
-        net.tick([tx("x", "y")])
-        assert net.shards[0].processed
+        accounts = [f"acct-{i}" for i in range(32)]
+        for a in accounts:
+            assert net.allocator.shard_of(a) == hash_shard(a, params.k)
+        pairs = list(zip(accounts[::2], accounts[1::2]))
+        net.run([[tx(a, b) for a, b in pairs]], drain=True)
+        busy = {i for i, s in enumerate(net.shards) if s.processed}
+        assert len(busy) > 1, "hash fallback must spread unknown accounts"
 
     def test_backlog_accumulates_when_overloaded(self):
         params = TxAlloParams(k=2, eta=2.0, lam=1.0)
@@ -111,6 +119,31 @@ class TestControllerDriven:
         net.run(all_blocks[40:52], drain=False)
         kinds = [t.allocation_update for t in net.ticks]
         assert "adaptive" in kinds
+
+    def test_controller_routes_unknown_account_with_neighbours(self):
+        """Regression: an account awaiting its first A-TxAllo assignment
+        is co-located with its assigned neighbourhood by the controller
+        (not dumped on shard 0)."""
+        gen = self.workload()
+        all_blocks = blocks_from(gen)
+        seed_sets = [tuple(t.accounts) for b in all_blocks[:40] for t in b]
+        # Huge periods: no scheduled update runs during the test window.
+        params, controller = self.make_controller(
+            seed_sets, tau1=10_000, tau2=20_000
+        )
+        known = next(iter(controller.allocation.mapping()))
+        net = LiveShardedNetwork(params, controller)
+        net.tick([tx(known, "brand-new-account")])
+        assert controller.allocation.shard_of_or_none("brand-new-account") is None
+        assert (
+            controller.shard_of("brand-new-account")
+            == controller.allocation.shard_of(known)
+        )
+
+    def test_controller_unknown_isolated_account_uses_hash_fallback(self):
+        params = TxAlloParams(k=4, eta=2.0, lam=10.0, tau1=100, tau2=200)
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        assert controller.shard_of("never-seen") == hash_shard("never-seen", 4)
 
     def test_txallo_beats_hash_on_committed_tps(self):
         """The paper's end-to-end claim, on the live system: with the
