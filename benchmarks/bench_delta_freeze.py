@@ -25,10 +25,17 @@ N + E regardless.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
+import sys
 import time
 from pathlib import Path
+
+try:  # script mode from a clean checkout: resolve the src layout
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.core.controller import TxAlloController
 from repro.core.csr import CSRGraph
@@ -43,7 +50,7 @@ TAU2 = 50
 #: Ethereum-sized blocks; the update frequency is what stresses freeze.
 BLOCK_SIZE = 100
 #: Loop timings are best-of-N to shave scheduler noise off the gate.
-TIMING_REPEATS = 2
+TIMING_REPEATS = 3
 
 OUT_PATH = Path(__file__).resolve().parent / "BENCH_delta.json"
 
@@ -156,19 +163,45 @@ def run_bench(scale: float = BENCH_SCALE, out_path: Path = OUT_PATH) -> dict:
     return payload
 
 
-def test_delta_freeze_run_table():
-    payload = run_bench()
-
+def check_gates(payload: dict) -> list:
+    """Return the list of failed gate descriptions (empty = all green)."""
+    failures = []
     # Steady-state cost must track the frontier, not N + E: the smallest
     # frontier refresh has to be far below a from-scratch lowering.
-    assert payload["frontier_freeze_ms"]["8"] < payload["full_freeze_ms"] / 4
-
-    # The perf gate of this PR: >= 2x on the controller block-loop at the
+    if not payload["frontier_freeze_ms"]["8"] < payload["full_freeze_ms"] / 4:
+        failures.append(
+            "smallest-frontier re-freeze no longer tracks the frontier: "
+            f"{payload['frontier_freeze_ms']['8']:.2f}ms vs full "
+            f"{payload['full_freeze_ms']:.2f}ms"
+        )
+    # The standing gate: >= 2x on the controller block-loop at the
     # default BENCH_SCALE=0.5 (margin for timer noise).
-    assert payload["speedup"] >= 2.0, (
-        f"delta-freeze block-loop speedup regressed: {payload['speedup']:.2f}x < 2x"
-    )
+    if payload["speedup"] < 2.0:
+        failures.append(
+            f"delta-freeze block-loop speedup regressed: {payload['speedup']:.2f}x < 2x"
+        )
+    return failures
+
+
+def test_delta_freeze_run_table(bench_scale):
+    payload = run_bench(scale=bench_scale)
+    failures = check_gates(payload)
+    assert not failures, "; ".join(failures)
 
 
 if __name__ == "__main__":
-    run_bench()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, default=BENCH_SCALE,
+        help="workload scale factor (default: BENCH_SCALE env or 0.5)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=OUT_PATH,
+        help=f"output run-table path (default {OUT_PATH.name} next to this file)",
+    )
+    args = parser.parse_args()
+    result = run_bench(scale=args.scale, out_path=args.out)
+    problems = check_gates(result)
+    for problem in problems:
+        print(f"GATE FAILED: {problem}", file=sys.stderr)
+    sys.exit(1 if problems else 0)

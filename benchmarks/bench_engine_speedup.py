@@ -17,10 +17,17 @@ record one cold/warm ``k=20`` call for the pessimistic view.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
+import sys
 import time
 from pathlib import Path
+
+try:  # script mode from a clean checkout: resolve the src layout
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.core.gtxallo import g_txallo
 from repro.core.params import TxAlloParams
@@ -51,11 +58,11 @@ def _run_grid(workload, backend):
     return total, results
 
 
-def test_engine_speedup_run_table():
+def run_bench(scale: float = BENCH_SCALE, out_path: Path = OUT_PATH) -> dict:
     # Fresh workloads per backend so neither run can warm the other's
     # graph-level caches.
-    wl_ref = experiments.build_workload(scale=BENCH_SCALE, seed=2022)
-    wl_fast = experiments.build_workload(scale=BENCH_SCALE, seed=2022)
+    wl_ref = experiments.build_workload(scale=scale, seed=2022)
+    wl_fast = experiments.build_workload(scale=scale, seed=2022)
 
     ref_seconds, ref_results = _run_grid(wl_ref, "reference")
     fast_seconds, fast_results = _run_grid(wl_fast, "fast")
@@ -73,7 +80,7 @@ def test_engine_speedup_run_table():
         ), cell
 
     # One extra cold + warm single call at the paper's headline setting.
-    wl_single = experiments.build_workload(scale=BENCH_SCALE, seed=2022)
+    wl_single = experiments.build_workload(scale=scale, seed=2022)
     params = TxAlloParams.with_capacity_for(
         wl_single.num_transactions, k=20, eta=2.0, backend="fast"
     )
@@ -89,7 +96,7 @@ def test_engine_speedup_run_table():
 
     speedup = ref_seconds / fast_seconds if fast_seconds > 0 else float("inf")
     payload = {
-        "scale": BENCH_SCALE,
+        "scale": scale,
         "n_nodes": wl_ref.graph.num_nodes,
         "n_edges": wl_ref.graph.num_edges,
         "n_transactions": wl_ref.num_transactions,
@@ -104,12 +111,43 @@ def test_engine_speedup_run_table():
         "single_cold_speedup": single_ref / single_cold if single_cold > 0 else None,
         "single_warm_speedup": single_ref / single_warm if single_warm > 0 else None,
     }
-    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print()
-    print(f"== engine speedup (scale={BENCH_SCALE}) ==")
+    print(f"== engine speedup (scale={scale}) ==")
     for key, value in payload.items():
         print(f"  {key}: {value}")
+    return payload
 
-    # The perf gate of this PR: >= 3x end-to-end on the evaluation grid
+
+def check_gates(payload: dict) -> list:
+    """Return the list of failed gate descriptions (empty = all green)."""
+    # The standing ROADMAP gate: >= 3x end-to-end on the evaluation grid
     # at the default BENCH_SCALE=0.5 (small margin for timer noise).
-    assert speedup >= 3.0, f"engine speedup regressed: {speedup:.2f}x < 3x"
+    speedup = payload["speedup"]
+    if speedup < 3.0:
+        return [f"engine speedup regressed: {speedup:.2f}x < 3x"]
+    return []
+
+
+def test_engine_speedup_run_table(bench_scale):
+    payload = run_bench(scale=bench_scale)
+    failures = check_gates(payload)
+    assert not failures, "; ".join(failures)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, default=BENCH_SCALE,
+        help="workload scale factor (default: BENCH_SCALE env or 0.5)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=OUT_PATH,
+        help=f"output run-table path (default {OUT_PATH.name} next to this file)",
+    )
+    args = parser.parse_args()
+    result = run_bench(scale=args.scale, out_path=args.out)
+    problems = check_gates(result)
+    for problem in problems:
+        print(f"GATE FAILED: {problem}", file=sys.stderr)
+    sys.exit(1 if problems else 0)

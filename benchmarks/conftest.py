@@ -23,16 +23,37 @@ import pytest
 from repro.eval import experiments
 
 BENCH_SCALE = float(os.environ.get("BENCH_SCALE", "0.5"))
-#: TxAllo engine backend for the whole suite ("fast" or "reference");
-#: outputs are byte-identical, so figures cannot depend on the choice.
+#: TxAllo engine backend for the whole suite ("fast"/"reference" are
+#: byte-identical, so figures cannot depend on that choice; "turbo" may
+#: shift figures within its documented objective tolerance).
 BENCH_BACKEND = os.environ.get("BENCH_BACKEND", "fast")
 BENCH_KS = (2, 10, 20, 40, 60)
 BENCH_ETAS = (2.0, 6.0, 10.0)
 
 
+def pytest_addoption(parser):
+    """``--scale`` mirrors the run-table scripts' flag (beats the env).
+
+    Consumed via the ``bench_scale`` fixture by the figure benchmarks
+    *and* the ``test_*_run_table`` gate tests — note the latter then
+    rewrite their committed ``BENCH_*.json`` at that scale, exactly as
+    the env var always did.
+    """
+    parser.addoption(
+        "--scale", action="store", type=float, default=None,
+        help=f"workload scale factor (default: BENCH_SCALE env or {BENCH_SCALE})",
+    )
+
+
 @pytest.fixture(scope="session")
-def workload():
-    return experiments.build_workload(scale=BENCH_SCALE, seed=2022)
+def bench_scale(request) -> float:
+    option = request.config.getoption("--scale")
+    return BENCH_SCALE if option is None else option
+
+
+@pytest.fixture(scope="session")
+def workload(bench_scale):
+    return experiments.build_workload(scale=bench_scale, seed=2022)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,128 @@
+"""Emit one perf run-table row from the committed/regenerated BENCH files.
+
+ROADMAP's "track absolute seconds across PRs" item: every CI perf run
+appends one row — commit, scale, absolute grid/loop/refresh seconds and
+the three gated speedups — to a tab-separated table uploaded as a build
+artifact, so the trajectory across PRs is a download away instead of an
+archaeology dig through old logs.
+
+Usage::
+
+    python benchmarks/run_table.py --header            # print the header
+    python benchmarks/run_table.py --commit $SHA       # print one row
+    python benchmarks/run_table.py --commit $SHA --append runs.tsv
+
+Missing BENCH files render as ``-`` so a partial regeneration still
+produces a row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+COLUMNS = (
+    "commit",
+    "scale",
+    "engine_grid_ref_s",
+    "engine_grid_fast_s",
+    "engine_grid_speedup",
+    "delta_loop_full_s",
+    "delta_loop_delta_s",
+    "delta_loop_speedup",
+    "refresh_cold_s",
+    "refresh_warm_s",
+    "refresh_speedup",
+    "warm_objective_ratio",
+)
+
+
+def _load(bench_dir: Path, name: str) -> dict:
+    path = bench_dir / name
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text())
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def build_row(bench_dir: Path, commit: str) -> dict:
+    engine = _load(bench_dir, "BENCH_engine.json")
+    delta = _load(bench_dir, "BENCH_delta.json")
+    louvain = _load(bench_dir, "BENCH_louvain.json")
+    scale = engine.get("scale", delta.get("scale", louvain.get("scale")))
+    return {
+        "commit": commit,
+        "scale": scale,
+        "engine_grid_ref_s": engine.get("ref_seconds"),
+        "engine_grid_fast_s": engine.get("fast_seconds"),
+        "engine_grid_speedup": engine.get("speedup"),
+        "delta_loop_full_s": delta.get("full_loop_seconds"),
+        "delta_loop_delta_s": delta.get("delta_loop_seconds"),
+        "delta_loop_speedup": delta.get("speedup"),
+        "refresh_cold_s": louvain.get("cold_refresh_seconds"),
+        "refresh_warm_s": louvain.get("warm_refresh_seconds"),
+        "refresh_speedup": louvain.get("refresh_speedup"),
+        "warm_objective_ratio": louvain.get("objective_ratio"),
+    }
+
+
+def _git_head() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, cwd=BENCH_DIR, check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench-dir", type=Path, default=BENCH_DIR,
+        help="directory holding the BENCH_*.json files (default: benchmarks/)",
+    )
+    parser.add_argument(
+        "--commit", default=None,
+        help="commit id for the row (default: git rev-parse --short HEAD)",
+    )
+    parser.add_argument(
+        "--header", action="store_true", help="print the header line too"
+    )
+    parser.add_argument(
+        "--append", type=Path, default=None,
+        help="append the row (with a header when creating) to this file",
+    )
+    args = parser.parse_args(argv)
+
+    row = build_row(args.bench_dir, args.commit or _git_head())
+    header = "\t".join(COLUMNS)
+    line = "\t".join(_fmt(row[c]) for c in COLUMNS)
+
+    if args.append is not None:
+        fresh = not args.append.exists() or not args.append.read_text().strip()
+        with args.append.open("a") as fh:
+            if fresh:
+                fh.write(header + "\n")
+            fh.write(line + "\n")
+    if args.header:
+        print(header)
+    print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,10 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: auto from the live block size)",
     )
     parser.add_argument(
-        "--backend", choices=["fast", "reference"], default="fast",
-        help="TxAllo engine: 'fast' (flat-array CSR sweep engine) or "
-             "'reference' (dict-based executable spec); outputs are "
-             "byte-identical (default fast)",
+        "--backend", choices=["fast", "reference", "turbo"], default="fast",
+        help="TxAllo engine: 'fast' (flat-array CSR sweep engine) and "
+             "'reference' (dict-based executable spec) are "
+             "byte-identical; 'turbo' adds warm-started Louvain and "
+             "work-skipping sweeps (deterministic, may diverge within "
+             "the documented objective tolerance; default fast)",
     )
     return parser
 

@@ -64,14 +64,16 @@ def a_txallo(
     from the graph's incrementally-maintained frozen CSR form — and
     sweeps on those (:mod:`repro.core.engine`), ``"reference"`` rescans
     the dict adjacency every sweep.  Both mutate ``alloc``
-    byte-identically.
+    byte-identically.  ``"turbo"`` has no adaptive-specific behaviour —
+    A-TxAllo already touches only the block frontier — so it runs the
+    fast path unchanged.
     """
     t0 = time.perf_counter()
     if epsilon is None:
         epsilon = alloc.params.epsilon
     if backend is None:
         backend = alloc.params.backend
-    if backend == "fast":
+    if backend in ("fast", "turbo"):
         from repro.core.engine import a_txallo_flat
 
         new_nodes, swept, sweeps, moves = a_txallo_flat(alloc, touched, epsilon)

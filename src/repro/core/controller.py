@@ -93,6 +93,7 @@ class TxAlloController(OnlineAllocator):
         self._touched: Set[Node] = set()
         self._adaptive_enabled = adaptive_enabled
         self._global_enabled = global_enabled
+        self._warm_counts: dict = {"warm": 0, "cold": 0}
         if seed_transactions is not None:
             for accounts in seed_transactions:
                 self.graph.add_transaction(accounts)
@@ -108,6 +109,7 @@ class TxAlloController(OnlineAllocator):
             result = g_txallo(self.graph, params)
             self.allocation = result.allocation
             moves = result.moves
+            self._count_warm()
         self.events.append(
             UpdateEvent(
                 kind="global",
@@ -174,10 +176,23 @@ class TxAlloController(OnlineAllocator):
         return self._run_adaptive()
 
     # ------------------------------------------------------------------
+    def _count_warm(self) -> None:
+        """Record whether the global run's Louvain went warm or cold.
+
+        Only meaningful on the turbo backend; ``louvain_warm_hit`` is
+        stamped on the (cached, so free to re-fetch) frozen snapshot by
+        :func:`repro.core.engine.louvain_flat_warm`.
+        """
+        if self.params.backend != "turbo":
+            return
+        hit = self.graph.freeze().louvain_warm_hit
+        self._warm_counts["warm" if hit else "cold"] += 1
+
     def _run_global(self) -> UpdateEvent:
         t0 = time.perf_counter()
         result = g_txallo(self.graph, self.params)
         self.allocation = result.allocation
+        self._count_warm()
         self._touched.clear()
         event = UpdateEvent(
             kind="global",
@@ -222,3 +237,15 @@ class TxAlloController(OnlineAllocator):
         incremental delta-freeze path.
         """
         return self.graph.freeze_stats
+
+    @property
+    def warm_stats(self) -> dict:
+        """Per-refresh Louvain warm-start counters: ``{"warm", "cold"}``.
+
+        ``warm`` counts global runs whose Louvain was seeded from the
+        previous snapshot's partition, ``cold`` from-scratch partitions
+        (including every run on non-turbo backends' behalf: both stay 0
+        unless ``params.backend == "turbo"``).  Benchmarks and tests use
+        this to prove the warm path actually carried across refreshes.
+        """
+        return dict(self._warm_counts)

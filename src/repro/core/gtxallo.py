@@ -79,15 +79,24 @@ def g_txallo(
     (:mod:`repro.core.engine`), ``"reference"`` runs the dict-based
     implementation in this module.  Both produce byte-identical
     allocations — same mapping, same caches, same sweep/move counts —
-    pinned by ``tests/test_engine_parity.py``.
+    pinned by ``tests/test_engine_parity.py``.  ``"turbo"`` warm-starts
+    Louvain from the previous CSR snapshot's partition and work-skips
+    converged optimisation sweeps; its allocation may differ from the
+    other backends but must stay within
+    :data:`repro.core.engine.WARM_OBJECTIVE_TOLERANCE` of their
+    objective (see the engine module docstring for the full contract).
     """
     if backend is None:
         backend = params.backend
-    if backend == "fast":
+    if backend in ("fast", "turbo"):
         from repro.core.engine import g_txallo_flat
 
         alloc, num_louvain, num_small, sweeps, moves, t_init, t_opt = g_txallo_flat(
-            graph, params, initial_partition=initial_partition, node_order=node_order
+            graph,
+            params,
+            initial_partition=initial_partition,
+            node_order=node_order,
+            warm=backend == "turbo",
         )
         return GTxAlloResult(
             allocation=alloc,

@@ -47,11 +47,24 @@ def louvain_partition(
     over the frozen CSR graph (:mod:`repro.core.engine`);
     ``backend="reference"`` runs the dict-based implementation below.
     The two are bit-identical — ``tests/test_engine_parity.py`` pins it.
+
+    ``backend="turbo"`` warm-starts level-0 local moving from the
+    previous snapshot's partition when the frozen CSR form was extended
+    incrementally (:func:`repro.core.engine.louvain_flat_warm`).  It may
+    return a *different* (still deterministic) partition than the other
+    two backends — the allocation built on top of it is gated on the
+    TxAllo objective instead of partition equality; with no warm seed it
+    degrades to the fast backend's cold partition.
     """
-    if backend == "fast":
+    if backend in ("fast", "turbo"):
         from repro.core.engine import louvain_fast
 
-        return louvain_fast(graph, max_levels=max_levels, resolution=resolution)
+        return louvain_fast(
+            graph,
+            max_levels=max_levels,
+            resolution=resolution,
+            warm=backend == "turbo",
+        )
     if backend != "reference":
         raise ValueError(f"unknown louvain backend {backend!r}")
     nodes = graph.nodes_sorted()

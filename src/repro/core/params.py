@@ -20,6 +20,12 @@ One implementation knob rides along:
   ``"reference"`` runs the dict-based executable specification.  The two
   produce byte-identical allocations (pinned by the engine parity tests),
   so the switch only trades speed for readability/debuggability.
+  ``"turbo"`` additionally warm-starts Louvain from the previous
+  snapshot's partition and work-skips converged optimisation sweeps; it
+  may produce a *different* (still deterministic) allocation, whose
+  TxAllo objective is gated within
+  :data:`repro.core.engine.WARM_OBJECTIVE_TOLERANCE` of the fast/reference
+  result — see :mod:`repro.core.engine` for the exact contract.
 """
 
 from __future__ import annotations
@@ -32,8 +38,10 @@ from repro.errors import ParameterError
 #: Relative convergence threshold used by the paper: ``ε = 1e-5 * |T|``.
 EPSILON_RATIO = 1e-5
 
-#: Valid allocation-engine backends.
-BACKENDS = ("fast", "reference")
+#: Valid allocation-engine backends.  "fast" and "reference" are
+#: byte-identical; "turbo" may diverge (objective-gated, documented in
+#: repro.core.engine).
+BACKENDS = ("fast", "reference", "turbo")
 
 
 @dataclasses.dataclass(frozen=True)

@@ -236,6 +236,10 @@ def sweep(
     ``backend`` selects the TxAllo engine; with ``"fast"`` the whole grid
     shares one frozen CSR graph and one memoised Louvain partition, which
     is where most of the engine's end-to-end win comes from.
+    ``"reference"`` is byte-identical to ``"fast"``; ``"turbo"`` may
+    shift TxAllo's cells within its documented objective tolerance (it
+    exists for the dynamic controller path — on a static sweep the warm
+    start has no prior snapshot to seed from).
     """
     cache = _MappingCache()
     records: List[MethodMetrics] = []

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core.atxallo import a_txallo
 from repro.core.gtxallo import g_txallo

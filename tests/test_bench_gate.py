@@ -1,11 +1,15 @@
-"""CI gate on the committed engine benchmark (ROADMAP's standing bar).
+"""CI gates on the committed benchmark run tables (ROADMAP's standing bars).
 
 ``benchmarks/BENCH_engine.json`` records the Fig. 8 evaluation-grid
-speedup of the flat-array CSR engine over the reference implementation.
-The ROADMAP keeps a standing >= 3x gate on that grid; this smoke loads
-the committed run table and fails the suite if a PR regresses below it.
-Skips cleanly when the file is absent (fresh checkout without bench
-artifacts) — regenerate with ``benchmarks/bench_engine_speedup.py``.
+speedup of the flat-array CSR engine over the reference implementation
+(standing gate >= 3x); ``benchmarks/BENCH_louvain.json`` records the
+turbo warm-started τ₂ refresh against the cold fast-backend refresh
+(standing gates: >= 2x, objective within the pinned tolerance).  These
+tests load whichever run table is on disk — in CI's perf job that is the
+file *regenerated on this very commit* — and fail the suite on a
+regression.  Each skips cleanly when its file is absent (fresh checkout
+without bench artifacts); regenerate with the matching
+``benchmarks/bench_*.py`` script.
 """
 
 import json
@@ -13,13 +17,12 @@ import pathlib
 
 import pytest
 
-BENCH_PATH = (
-    pathlib.Path(__file__).resolve().parent.parent
-    / "benchmarks"
-    / "BENCH_engine.json"
-)
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_PATH = BENCH_DIR / "BENCH_engine.json"
+LOUVAIN_PATH = BENCH_DIR / "BENCH_louvain.json"
 
 GRID_SPEEDUP_GATE = 3.0
+WARM_REFRESH_GATE = 2.0
 
 
 def _load_payload():
@@ -29,6 +32,15 @@ def _load_payload():
             "benchmarks/bench_engine_speedup.py to regenerate"
         )
     return json.loads(BENCH_PATH.read_text())
+
+
+def _load_louvain():
+    if not LOUVAIN_PATH.exists():
+        pytest.skip(
+            "benchmarks/BENCH_louvain.json absent; run "
+            "benchmarks/bench_louvain_warm.py to regenerate"
+        )
+    return json.loads(LOUVAIN_PATH.read_text())
 
 
 def test_engine_grid_speedup_gate():
@@ -45,3 +57,39 @@ def test_engine_run_table_schema():
     for key in ("scale", "grid_ks", "grid_etas", "ref_seconds", "fast_seconds"):
         assert key in payload, key
     assert payload["fast_seconds"] > 0.0
+
+
+def test_warm_refresh_speedup_gate():
+    payload = _load_louvain()
+    assert payload["refresh_speedup"] >= WARM_REFRESH_GATE, (
+        f"warm-started refresh speedup {payload['refresh_speedup']:.2f}x fell "
+        f"below the {WARM_REFRESH_GATE}x gate; rerun "
+        "benchmarks/bench_louvain_warm.py and investigate the regression"
+    )
+
+
+def test_warm_objective_within_tolerance():
+    payload = _load_louvain()
+    tolerance = payload["objective_tolerance"]
+    assert payload["objective_ratio"] >= 1.0 - tolerance, (
+        f"turbo objective ratio {payload['objective_ratio']:.4f} drifted more "
+        f"than {tolerance} below the cold fast-backend objective"
+    )
+    assert payload["warm_stats"]["warm"] > 0, "run table recorded no warm refresh"
+
+
+def test_louvain_run_table_schema():
+    payload = _load_louvain()
+    for key in (
+        "scale",
+        "cold_refresh_seconds",
+        "warm_refresh_seconds",
+        "refresh_speedup",
+        "objective_ratio",
+        "objective_tolerance",
+        "warm_stats",
+        "cross_shard_fast",
+        "cross_shard_turbo",
+    ):
+        assert key in payload, key
+    assert payload["warm_refresh_seconds"] > 0.0

@@ -1,6 +1,5 @@
 """Tests for the τ₁/τ₂ dynamic controller."""
 
-import pytest
 
 from repro.core.controller import TxAlloController
 from repro.core.params import TxAlloParams

@@ -4,7 +4,6 @@ Every allocator must produce byte-identical output for identical input —
 that is what lets miners skip an extra consensus round on the allocation.
 """
 
-import pytest
 
 from repro.baselines import hash_partition, metis_partition, shard_scheduler_partition
 from repro.core.gtxallo import g_txallo

@@ -1,20 +1,29 @@
 """Smoke tests: every example script runs green end to end."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 
 def run_example(name, *args, timeout=300):
+    # The examples are standalone scripts; make the src-layout package
+    # importable for them whether or not the package is installed (the
+    # test process itself gets it from pyproject's pytest pythonpath).
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert result.returncode == 0, (
         f"{name} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"

@@ -1,10 +1,8 @@
 """Tests for Algorithm 1 (G-TxAllo)."""
 
-import pytest
 
 from repro.core.graph import TransactionGraph
 from repro.core.gtxallo import g_txallo
-from repro.core.louvain import louvain_partition
 from repro.core.metrics import evaluate_allocation, graph_cross_shard_ratio
 from repro.core.params import TxAlloParams
 from repro.baselines.hash_allocation import hash_partition
