@@ -241,7 +241,9 @@ class Allocation:
             raise AllocationError(f"account {v!r} is already allocated; use move()")
         if not 0 <= q < len(self.sigma):
             raise AllocationError(f"community {q} out of range")
-        by_shard, w_self, w_ext = weights if weights is not None else self.neighbour_shard_weights(v)
+        by_shard, w_self, w_ext = (
+            weights if weights is not None else self.neighbour_shard_weights(v)
+        )
         eta = self.params.eta
         w_q = by_shard.get(q, 0.0)
         # The join delta is the same as for a paper-style move: edges v-V_q
@@ -263,7 +265,9 @@ class Allocation:
             return
         if not 0 <= q < len(self.sigma):
             raise AllocationError(f"community {q} out of range")
-        by_shard, w_self, w_ext = weights if weights is not None else self.neighbour_shard_weights(v)
+        by_shard, w_self, w_ext = (
+            weights if weights is not None else self.neighbour_shard_weights(v)
+        )
         eta = self.params.eta
         w_p = by_shard.get(p, 0.0)
         w_q = by_shard.get(q, 0.0)

@@ -71,14 +71,17 @@ class TxAlloParams:
         if not self.lam > 0:
             raise ParameterError(f"shard capacity lam must be positive, got {self.lam!r}")
         if not self.epsilon >= 0:
-            raise ParameterError(f"convergence threshold epsilon must be >= 0, got {self.epsilon!r}")
+            raise ParameterError(
+                f"convergence threshold epsilon must be >= 0, got {self.epsilon!r}"
+            )
         if self.tau1 < 1 or self.tau2 < 1:
             raise ParameterError(
                 f"update periods must be positive, got tau1={self.tau1!r} tau2={self.tau2!r}"
             )
         if self.tau1 > self.tau2:
             raise ParameterError(
-                f"adaptive period tau1 ({self.tau1}) must not exceed global period tau2 ({self.tau2})"
+                f"adaptive period tau1 ({self.tau1}) must not exceed "
+                f"global period tau2 ({self.tau2})"
             )
         if self.backend not in BACKENDS:
             raise ParameterError(
