@@ -21,6 +21,17 @@ mapping, same caches, same update events), and writes
 re-freeze after touching a frontier of ``f`` nodes, for growing ``f`` —
 the incremental cost tracks the frontier, while the full lowering pays
 N + E regardless.
+
+Both loops run with ``adaptive_workspace=False``: the adaptive workspace
+(PR 5) skips per-window freezes entirely, which would collapse the very
+difference this table measures.  The workspace's own block-loop gain is
+gated by ``benchmarks/bench_adaptive.py`` instead; the delta-freeze path
+stays the supported fallback (and what global refreshes ride), so this
+gate stands.
+
+Scale knob: ``--scale`` / the ``BENCH_SCALE`` env crank the workload
+(CI pins 0.5 for runner budget; ``benchmarks/run_table.py
+--local-scale 2`` regenerates a non-toy row locally).
 """
 
 from __future__ import annotations
@@ -76,7 +87,12 @@ def _run_loop(blocks, seed_blocks, delta_enabled: bool):
         tau2=TAU2,
     )
     controller = TxAlloController(
-        params, seed_transactions=[tx for block in seed_blocks for tx in block]
+        params,
+        seed_transactions=[tx for block in seed_blocks for tx in block],
+        # Workspace off: this table isolates the delta-freeze machinery
+        # (see the module docstring); bench_adaptive.py owns the
+        # workspace gate.
+        adaptive_workspace=False,
     )
     controller.graph.delta_freeze_enabled = delta_enabled
     t0 = time.perf_counter()

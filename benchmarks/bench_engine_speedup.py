@@ -13,6 +13,10 @@ PRs have a perf trajectory to gate against:
 legitimately amortises one freeze + one memoised Louvain partition across
 the grid, exactly as ``experiments.sweep`` does); ``single_*`` fields
 record one cold/warm ``k=20`` call for the pessimistic view.
+
+Scale knob: ``--scale`` / the ``BENCH_SCALE`` env crank the workload
+(CI pins 0.5 for runner budget; ``benchmarks/run_table.py
+--local-scale 2`` regenerates a non-toy row locally).
 """
 
 from __future__ import annotations

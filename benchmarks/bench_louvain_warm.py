@@ -28,7 +28,15 @@ and by CI):
 
 Run directly (``python benchmarks/bench_louvain_warm.py [--scale S]
 [--out PATH]``) it exits non-zero when a gate fails, so the CI perf job
-can call it without a pytest wrapper.
+can call it without a pytest wrapper.  ``--scale`` / ``BENCH_SCALE``
+crank the workload (CI pins 0.5; ``benchmarks/run_table.py
+--local-scale 2`` regenerates a non-toy row locally).
+
+Both loops run with ``adaptive_workspace=False`` so the refresh timings
+stay comparable across PRs: the adaptive workspace (PR 5) batches the
+τ₁ runs and defers freezing to the τ₂ refresh, which would shift freeze
+cost into the very refresh this table isolates.  The workspace path is
+benchmarked by ``benchmarks/bench_adaptive.py``.
 """
 
 from __future__ import annotations
@@ -80,7 +88,12 @@ def _run_loop(backend, blocks, seed_blocks, num_transactions):
         num_transactions, k=16, eta=2.0, tau1=TAU1, tau2=TAU2, backend=backend
     )
     controller = TxAlloController(
-        params, seed_transactions=[tx for block in seed_blocks for tx in block]
+        params,
+        seed_transactions=[tx for block in seed_blocks for tx in block],
+        # Workspace off: keeps per-refresh freeze cost where PR 4 measured
+        # it (see the module docstring); bench_adaptive.py owns the
+        # workspace gate.
+        adaptive_workspace=False,
     )
     t0 = time.perf_counter()
     for block in blocks:

@@ -2,7 +2,7 @@
 
 ROADMAP's "track absolute seconds across PRs" item: every CI perf run
 appends one row — commit, scale, absolute grid/loop/refresh seconds and
-the three gated speedups — to a tab-separated table uploaded as a build
+the four gated speedups — to a tab-separated table uploaded as a build
 artifact, so the trajectory across PRs is a download away instead of an
 archaeology dig through old logs.
 
@@ -11,14 +11,25 @@ Usage::
     python benchmarks/run_table.py --header            # print the header
     python benchmarks/run_table.py --commit $SHA       # print one row
     python benchmarks/run_table.py --commit $SHA --append runs.tsv
+    python benchmarks/run_table.py --local-scale 2     # extra non-toy row
 
 Missing BENCH files render as ``-`` so a partial regeneration still
 produces a row.
+
+``--local-scale S`` (ROADMAP's non-toy coverage item) regenerates every
+benchmark at scale ``S`` (>= 2 is the intended use) into
+``BENCH_*.scaleS.json`` side files and emits a *second* row from them,
+so the perf trajectory also covers a graph several times the default.
+It is a local knob: the regeneration takes minutes at scale 2 and CI
+stays at ``BENCH_SCALE=0.5`` for runner budget.  Gates are *not*
+enforced on the extra row — they are calibrated at the default scale —
+but each bench's internal parity assertions still run.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import json
 import subprocess
 import sys
@@ -39,6 +50,18 @@ COLUMNS = (
     "refresh_warm_s",
     "refresh_speedup",
     "warm_objective_ratio",
+    "adaptive_loop_base_s",
+    "adaptive_loop_ws_s",
+    "adaptive_loop_speedup",
+)
+
+#: (bench script, BENCH json stem) pairs behind the row columns — also
+#: what ``--local-scale`` regenerates.
+BENCHES = (
+    ("bench_engine_speedup.py", "BENCH_engine"),
+    ("bench_delta_freeze.py", "BENCH_delta"),
+    ("bench_louvain_warm.py", "BENCH_louvain"),
+    ("bench_adaptive.py", "BENCH_adaptive"),
 )
 
 
@@ -57,11 +80,14 @@ def _fmt(value) -> str:
     return str(value)
 
 
-def build_row(bench_dir: Path, commit: str) -> dict:
-    engine = _load(bench_dir, "BENCH_engine.json")
-    delta = _load(bench_dir, "BENCH_delta.json")
-    louvain = _load(bench_dir, "BENCH_louvain.json")
-    scale = engine.get("scale", delta.get("scale", louvain.get("scale")))
+def build_row(bench_dir: Path, commit: str, suffix: str = "") -> dict:
+    engine = _load(bench_dir, f"BENCH_engine{suffix}.json")
+    delta = _load(bench_dir, f"BENCH_delta{suffix}.json")
+    louvain = _load(bench_dir, f"BENCH_louvain{suffix}.json")
+    adaptive = _load(bench_dir, f"BENCH_adaptive{suffix}.json")
+    scale = engine.get(
+        "scale", delta.get("scale", louvain.get("scale", adaptive.get("scale")))
+    )
     return {
         "commit": commit,
         "scale": scale,
@@ -75,7 +101,31 @@ def build_row(bench_dir: Path, commit: str) -> dict:
         "refresh_warm_s": louvain.get("warm_refresh_seconds"),
         "refresh_speedup": louvain.get("refresh_speedup"),
         "warm_objective_ratio": louvain.get("objective_ratio"),
+        "adaptive_loop_base_s": adaptive.get("base_loop_seconds"),
+        "adaptive_loop_ws_s": adaptive.get("workspace_loop_seconds"),
+        "adaptive_loop_speedup": adaptive.get("speedup"),
     }
+
+
+def _scale_suffix(scale: float) -> str:
+    return f".scale{scale:g}"
+
+
+def regenerate_at_scale(bench_dir: Path, scale: float) -> None:
+    """Run every bench's ``run_bench`` at ``scale`` into side files.
+
+    Gates are not checked here — they are calibrated at the default
+    scale — but each bench's internal parity assertions still apply.
+    """
+    suffix = _scale_suffix(scale)
+    for script, stem in BENCHES:
+        path = bench_dir / script
+        spec = importlib.util.spec_from_file_location(path.stem, path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        out_path = bench_dir / f"{stem}{suffix}.json"
+        print(f"[run_table] {script} --scale {scale} -> {out_path.name}")
+        module.run_bench(scale=scale, out_path=out_path)
 
 
 def _git_head() -> str:
@@ -104,23 +154,48 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--append", type=Path, default=None,
-        help="append the row (with a header when creating) to this file",
+        help="append the row(s) (with a header when creating) to this file",
+    )
+    parser.add_argument(
+        "--local-scale", type=float, default=None,
+        help="also regenerate every bench at this scale (>= 2 intended) "
+             "into BENCH_*.scaleS.json and emit a second row — local "
+             "only, CI keeps the default scale",
     )
     args = parser.parse_args(argv)
 
-    row = build_row(args.bench_dir, args.commit or _git_head())
+    commit = args.commit or _git_head()
+    rows = [build_row(args.bench_dir, commit)]
+    if args.local_scale is not None:
+        regenerate_at_scale(args.bench_dir, args.local_scale)
+        rows.append(
+            build_row(args.bench_dir, commit, suffix=_scale_suffix(args.local_scale))
+        )
+
     header = "\t".join(COLUMNS)
-    line = "\t".join(_fmt(row[c]) for c in COLUMNS)
+    lines = ["\t".join(_fmt(row[c]) for c in COLUMNS) for row in rows]
 
     if args.append is not None:
-        fresh = not args.append.exists() or not args.append.read_text().strip()
+        existing = args.append.read_text() if args.append.exists() else ""
+        fresh = not existing.strip()
+        if not fresh and existing.splitlines()[0] != header:
+            # An old-schema table (e.g. pre-adaptive columns): appending
+            # would silently misalign every new row against its header.
+            print(
+                f"error: {args.append} has a different column set; move it "
+                "aside (or delete it) to start a fresh table",
+                file=sys.stderr,
+            )
+            return 1
         with args.append.open("a") as fh:
             if fresh:
                 fh.write(header + "\n")
-            fh.write(line + "\n")
+            for line in lines:
+                fh.write(line + "\n")
     if args.header:
         print(header)
-    print(line)
+    for line in lines:
+        print(line)
     return 0
 
 

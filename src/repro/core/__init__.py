@@ -38,7 +38,8 @@ from repro.core.forecast import (
 from repro.core.atxallo import ATxAlloResult, a_txallo
 from repro.core.controller import TxAlloController, UpdateEvent
 from repro.core.csr import CSRGraph
-from repro.core.graph import Node, TransactionGraph, pair_count
+from repro.core.engine import AdaptiveWorkspace
+from repro.core.graph import MutationJournal, Node, TransactionGraph, pair_count
 from repro.core.gtxallo import GTxAlloResult, g_txallo
 from repro.core.louvain import louvain_partition, modularity
 from repro.core.metrics import (
@@ -73,11 +74,13 @@ from repro.core.workload_model import (
 from repro.core.params import TxAlloParams
 
 __all__ = [
+    "AdaptiveWorkspace",
     "Allocation",
     "AllocationCheckpoint",
     "AllocationUpdate",
     "AllocatorBase",
     "CSRGraph",
+    "MutationJournal",
     "FixedMappingAllocator",
     "FunctionAllocator",
     "OnlineAllocator",

@@ -50,7 +50,9 @@ def capped_throughput(sigma: float, lam_hat: float, lam: float) -> float:
 class Allocation:
     """A mutable account→community mapping over a transaction graph."""
 
-    __slots__ = ("graph", "params", "_shard_of", "sigma", "lam_hat", "members")
+    __slots__ = (
+        "graph", "params", "_shard_of", "sigma", "lam_hat", "members", "mutation_count"
+    )
 
     def __init__(
         self,
@@ -69,6 +71,11 @@ class Allocation:
         self.sigma: List[float] = [0.0] * n
         self.lam_hat: List[float] = [0.0] * n
         self.members: List[Set[Node]] = [set() for _ in range(n)]
+        # Bumped by every mapping mutation (assign/move/truncate).  The
+        # adaptive workspace watermarks this to detect mutations applied
+        # behind its back (a bare count of assigned accounts cannot see
+        # a move) and rebuild instead of serving a stale id→shard view.
+        self.mutation_count: int = 0
 
     # ------------------------------------------------------------------
     # Constructors
@@ -254,6 +261,7 @@ class Allocation:
         self.lam_hat[q] += w_self + w_ext / 2.0
         self._shard_of[v] = q
         self.members[q].add(v)
+        self.mutation_count += 1
 
     def move(self, v: Node, q: int, *, weights=None) -> None:
         """Move the assigned node ``v`` to community ``q`` (Section V-B).
@@ -281,6 +289,7 @@ class Allocation:
         self._shard_of[v] = q
         self.members[p].discard(v)
         self.members[q].add(v)
+        self.mutation_count += 1
 
     def ingest_transaction(self, accounts: Iterable[Node]) -> None:
         """Update caches for a transaction already added to the graph.
@@ -333,6 +342,7 @@ class Allocation:
         del self.sigma[k:]
         del self.lam_hat[k:]
         del self.members[k:]
+        self.mutation_count += 1
 
     # ------------------------------------------------------------------
     # Throughput (Eqs. 2-3)
@@ -397,6 +407,7 @@ class Allocation:
         clone.sigma = self.sigma[:]
         clone.lam_hat = self.lam_hat[:]
         clone.members = [set(m) for m in self.members]
+        clone.mutation_count = self.mutation_count
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

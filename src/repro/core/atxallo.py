@@ -44,6 +44,12 @@ class ATxAlloResult:
     sweeps: int
     moves: int
     seconds: float
+    #: False when the run exhausted :data:`MAX_SWEEPS` before the
+    #: per-sweep gain fell below ``epsilon`` — previously a truncated run
+    #: was indistinguishable from a converged one.  Defaults to True so
+    #: persisted results and report consumers built before this field
+    #: keep working unchanged.
+    converged: bool = True
 
 
 def a_txallo(
@@ -52,6 +58,7 @@ def a_txallo(
     *,
     epsilon: Optional[float] = None,
     backend: Optional[str] = None,
+    workspace=None,
 ) -> ATxAlloResult:
     """Run Algorithm 2 in place on ``alloc`` for the touched node set ``V̂``.
 
@@ -67,6 +74,13 @@ def a_txallo(
     byte-identically.  ``"turbo"`` has no adaptive-specific behaviour —
     A-TxAllo already touches only the block frontier — so it runs the
     fast path unchanged.
+
+    ``workspace`` (an :class:`repro.core.engine.AdaptiveWorkspace`) makes
+    consecutive flat-backend runs share one persistent neighbourhood
+    view, kept current from the graph's mutation journal, instead of
+    re-freezing and re-snapshotting every run — the τ₁ block loop's
+    batched path.  Results stay byte-identical with or without it; the
+    reference backend ignores it (the dict scans *are* the live graph).
     """
     t0 = time.perf_counter()
     if epsilon is None:
@@ -76,7 +90,9 @@ def a_txallo(
     if backend in ("fast", "turbo"):
         from repro.core.engine import a_txallo_flat
 
-        new_nodes, swept, sweeps, moves = a_txallo_flat(alloc, touched, epsilon)
+        new_nodes, swept, sweeps, moves, converged = a_txallo_flat(
+            alloc, touched, epsilon, workspace=workspace
+        )
         return ATxAlloResult(
             allocation=alloc,
             new_nodes=new_nodes,
@@ -84,6 +100,7 @@ def a_txallo(
             sweeps=sweeps,
             moves=moves,
             seconds=time.perf_counter() - t0,
+            converged=converged,
         )
     if backend != "reference":
         raise ParameterError(f"unknown a_txallo backend {backend!r}")
@@ -105,6 +122,7 @@ def a_txallo(
     # Phase 2 — optimise the touched set (Algorithm 2, lines 9-17).
     sweeps = 0
     moves = 0
+    converged = False
     while sweeps < MAX_SWEEPS:
         sweeps += 1
         sweep_gain = 0.0
@@ -120,6 +138,7 @@ def a_txallo(
                 sweep_gain += gain
                 moves += 1
         if sweep_gain < epsilon:
+            converged = True
             break
 
     return ATxAlloResult(
@@ -129,4 +148,5 @@ def a_txallo(
         sweeps=sweeps,
         moves=moves,
         seconds=time.perf_counter() - t0,
+        converged=converged,
     )

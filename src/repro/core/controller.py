@@ -17,6 +17,15 @@ On the fast backend the graph's frozen CSR snapshot is maintained
 small frontier, so the periodic A-TxAllo snapshots and G-TxAllo refreshes
 extend the previous snapshot instead of re-lowering the whole graph.
 :attr:`TxAlloController.freeze_stats` exposes the counters.
+
+Since the adaptive workspace
+(:class:`repro.core.engine.AdaptiveWorkspace`, owned by the controller
+and on by default for the flat backends) consecutive A-TxAllo runs go
+further: they share one persistent flat neighbourhood view kept current
+from the graph's mutation journal, so between global refreshes the τ₁
+loop does not freeze the graph at all.  Results are byte-identical with
+the workspace on or off; :attr:`TxAlloController.workspace_stats`
+exposes its rebuild/extend counters.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from typing import Iterable, List, Optional, Sequence, Set
 from repro.core.allocation import Allocation
 from repro.core.allocator import OnlineAllocator, hash_fallback_shard
 from repro.core.atxallo import a_txallo
+from repro.core.engine import AdaptiveWorkspace
 from repro.core.graph import Node, TransactionGraph
 from repro.core.gtxallo import g_txallo
 from repro.core.params import TxAlloParams
@@ -42,6 +52,11 @@ class UpdateEvent:
     seconds: float
     moves: int
     touched: int
+    #: False when an adaptive run hit the A-TxAllo sweep cap before the
+    #: ε criterion — Fig. 10 replays can now tell a truncated sweep from
+    #: real convergence.  Global runs (and events persisted before this
+    #: field existed) default to True.
+    converged: bool = True
 
 
 class TxAlloController(OnlineAllocator):
@@ -85,6 +100,7 @@ class TxAlloController(OnlineAllocator):
         initial_mapping: Optional[dict] = None,
         adaptive_enabled: bool = True,
         global_enabled: bool = True,
+        adaptive_workspace: bool = True,
     ) -> None:
         self.params = params
         self.graph = graph if graph is not None else TransactionGraph()
@@ -94,6 +110,15 @@ class TxAlloController(OnlineAllocator):
         self._adaptive_enabled = adaptive_enabled
         self._global_enabled = global_enabled
         self._warm_counts: dict = {"warm": 0, "cold": 0}
+        # The adaptive workspace batches consecutive A-TxAllo runs over
+        # one persistent neighbourhood view (byte-identical results; see
+        # repro.core.engine).  It only applies to the flat backends —
+        # the reference path scans the live dicts every sweep anyway.
+        self._workspace: Optional[AdaptiveWorkspace] = (
+            AdaptiveWorkspace()
+            if adaptive_workspace and params.backend != "reference"
+            else None
+        )
         if seed_transactions is not None:
             for accounts in seed_transactions:
                 self.graph.add_transaction(accounts)
@@ -193,6 +218,10 @@ class TxAlloController(OnlineAllocator):
         result = g_txallo(self.graph, self.params)
         self.allocation = result.allocation
         self._count_warm()
+        if self._workspace is not None:
+            # The refresh replaced the allocation wholesale; the cached
+            # id→shard view has nothing left to say.
+            self._workspace.invalidate()
         self._touched.clear()
         event = UpdateEvent(
             kind="global",
@@ -205,15 +234,20 @@ class TxAlloController(OnlineAllocator):
         return event
 
     def _run_adaptive(self) -> UpdateEvent:
+        # The touched-set is replaced only after the run succeeds:
+        # clearing it up front silently dropped the accumulated accounts
+        # whenever a_txallo raised, so the next adaptive run swept
+        # nothing (regression-tested in tests/test_controller.py).
         touched = self._touched
+        result = a_txallo(self.allocation, touched, workspace=self._workspace)
         self._touched = set()
-        result = a_txallo(self.allocation, touched)
         event = UpdateEvent(
             kind="adaptive",
             block_height=self.block_height,
             seconds=result.seconds,
             moves=result.moves,
             touched=result.swept_nodes,
+            converged=result.converged,
         )
         self.events.append(event)
         return event
@@ -237,6 +271,20 @@ class TxAlloController(OnlineAllocator):
         incremental delta-freeze path.
         """
         return self.graph.freeze_stats
+
+    @property
+    def workspace_stats(self) -> dict:
+        """Adaptive-workspace counters: ``{"rebuilds", "extends", "runs"}``.
+
+        ``rebuilds`` counts full re-lowerings (controller start, global
+        refreshes, decay), ``extends`` journal replays that carried the
+        cached views across a τ₁ window, ``runs`` adaptive runs served
+        through the workspace.  All zero when the workspace is disabled
+        (``adaptive_workspace=False`` or the reference backend).
+        """
+        if self._workspace is None:
+            return {"rebuilds": 0, "extends": 0, "runs": 0}
+        return self._workspace.stats
 
     @property
     def warm_stats(self) -> dict:

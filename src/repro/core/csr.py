@@ -376,6 +376,20 @@ class CSRGraph:
         return csr
 
     # ------------------------------------------------------------------
+    def adjacency_dicts(self) -> Tuple[List[Dict[int, float]], List[float]]:
+        """Mutable id-keyed copies of the pair rows plus the loop vector.
+
+        This is the lowering the adaptive workspace
+        (:class:`repro.core.engine.AdaptiveWorkspace`) rebuilds its
+        evolving row maps from: one int-keyed dict per node whose
+        iteration order matches the CSR row (and hence the source
+        adjacency dict, self-loop entry excluded), and a fresh list of
+        self-loop weights.  The caller owns both copies — mutating them
+        never touches this immutable snapshot.
+        """
+        return [dict(prs) for prs in self.pairs], list(self.loop)
+
+    # ------------------------------------------------------------------
     @property
     def sorted_order(self) -> array:
         """Dense ids in ascending node-identifier order (lazy).

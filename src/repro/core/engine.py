@@ -76,6 +76,32 @@ backends: warm results live in separate memos (``louvain_warm_memo`` /
 available (first freeze, decay/pruning rebuild, oversized accumulated
 frontier) the turbo path falls back to the cold partition and only the
 sweep schedule differs.
+
+Adaptive workspace
+------------------
+:class:`AdaptiveWorkspace` batches consecutive A-TxAllo runs: instead of
+re-freezing the graph and re-snapshotting the touched neighbourhoods
+from the CSR every τ₁ window, the workspace keeps the flat views alive
+*across* runs — id-keyed row maps mirroring the adjacency dicts, the
+self-loop vector, and a dense id→shard array — and keeps them current by
+replaying the graph's :class:`~repro.core.graph.MutationJournal` (new
+nodes, edge weight increments) in O(window delta) instead of
+O(frontier degree) re-lowering plus an incremental freeze per window.
+The workspace is a **cache, not a backend level**: unlike ``"turbo"`` it
+is not allowed to land on a different optimum — a workspace-backed run
+must produce byte-identical allocations, caches and sweep/move counts to
+the snapshot-per-run fast path (the row maps replay the same float
+accumulations in the same order the CSR rows would, and per-run ``w_ext``
+is re-summed in row order exactly as a lowering would), which
+``tests/test_engine_parity.py`` and ``tests/test_delta_freeze.py`` pin
+property-style.  It invalidates and rebuilds from a fresh frozen
+snapshot whenever the allocation object is replaced (global refresh),
+the journal is poisoned (window decay, pruning, a competing journal), or
+the allocation's mutation watermark (``Allocation.mutation_count``)
+drifts from what the workspace last saw — i.e. any assign/move applied
+behind the workspace's back.
+``benchmarks/bench_adaptive.py`` gates the resulting Fig. 9 block-loop
+speedup (≥ 1.3x end-to-end at τ₁=1).
 """
 
 from __future__ import annotations
@@ -1158,10 +1184,20 @@ def a_txallo_flat(
     alloc: Allocation,
     touched: Iterable[Node],
     epsilon: float,
-) -> Tuple[int, int, int, int]:
+    workspace: Optional["AdaptiveWorkspace"] = None,
+) -> Tuple[int, int, int, int, bool]:
     """Algorithm 2 on flat snapshots, mutating ``alloc`` in place.
 
-    Returns ``(new_nodes, swept_nodes, sweeps, moves)``.
+    Returns ``(new_nodes, swept_nodes, sweeps, moves, converged)`` —
+    ``converged`` is ``False`` when the run exhausted the sweep cap
+    before the per-sweep gain dropped below ``epsilon``.
+
+    ``workspace`` switches to the batched path: the touched
+    neighbourhoods are read from the persistent
+    :class:`AdaptiveWorkspace` views (kept current via the graph's
+    mutation journal) instead of a fresh per-run snapshot of the frozen
+    CSR.  Byte-identical results either way — the workspace is a cache,
+    not a backend level (see the module docstring).
 
     The graph does not change during a run, so each touched node's
     neighbourhood is scanned **once** into flat arrays: per-neighbour
@@ -1181,6 +1217,8 @@ def a_txallo_flat(
     ``loop``/``ext`` are the same accumulated floats, so the run stays
     byte-identical to the reference backend.
     """
+    if workspace is not None:
+        return _a_txallo_workspace(alloc, touched, epsilon, workspace)
     graph = alloc.graph
     params = alloc.params
     k = params.k
@@ -1311,6 +1349,7 @@ def a_txallo_flat(
     touched_comms: List[int] = []
     sweeps = 0
     moves = 0
+    converged = False
     while sweeps < _ADAPTIVE_MAX_SWEEPS:
         sweeps += 1
         sweep_gain = 0.0
@@ -1377,6 +1416,396 @@ def a_txallo_flat(
                 sweep_gain += best_gain
                 moves += 1
         if sweep_gain < epsilon:
+            converged = True
             break
 
-    return len(new_slots), nv, sweeps, moves
+    return len(new_slots), nv, sweeps, moves, converged
+
+
+# ======================================================================
+# Adaptive workspace — batched A-TxAllo across τ₁ windows
+# ======================================================================
+class AdaptiveWorkspace:
+    """Persistent flat views shared by consecutive A-TxAllo runs.
+
+    Owned by :class:`repro.core.controller.TxAlloController` (one per
+    controller); the τ₁ block loop passes it to every adaptive run via
+    :func:`repro.core.atxallo.a_txallo`.  State, all in dense-id space:
+
+    * ``rows[i]`` — id-keyed weight map of node ``i``'s loop-free
+      neighbourhood, iteration-ordered like the adjacency dict row;
+    * ``loop[i]`` — the self-loop weight ``w{v, v}``;
+    * ``shard[i]`` — current community of node ``i`` (-1 unassigned),
+      updated in lockstep with every ``Allocation.assign``/``move`` the
+      runs apply.
+
+    Between runs the views are kept current by replaying the graph's
+    :class:`~repro.core.graph.MutationJournal` — O(delta) integer-dict
+    work, no freeze, no string hashing beyond interning brand-new
+    accounts.  :meth:`sync` falls back to a full rebuild from a fresh
+    frozen snapshot when the cache cannot be trusted: different
+    allocation object (global refresh replaced it), poisoned journal
+    (window decay / pruning / a competing journal), or an allocation
+    mutation watermark differing from what the last run left behind
+    (:attr:`repro.core.allocation.Allocation.mutation_count` — some
+    other code path assigned or moved accounts without the workspace).
+
+    The workspace is a cache, not a backend level — runs through it are
+    byte-identical to the snapshot-per-run fast path (module docstring
+    has the argument; the parity suites pin it).
+    """
+
+    __slots__ = (
+        "_alloc",
+        "_graph",
+        "_journal",
+        "_index_of",
+        "_nodes",
+        "_rows",
+        "_loop",
+        "_shard",
+        "_mutation_mark",
+        "_counts",
+    )
+
+    def __init__(self) -> None:
+        self._alloc: Optional[Allocation] = None
+        self._graph = None
+        self._journal = None
+        self._index_of: Dict[Node, int] = {}
+        self._nodes: List[Node] = []
+        self._rows: List[Dict[int, float]] = []
+        self._loop: List[float] = []
+        self._shard: List[int] = []
+        self._mutation_mark = -1
+        self._counts = {"rebuilds": 0, "extends": 0, "runs": 0}
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Lifecycle counters: ``{"rebuilds", "extends", "runs"}``.
+
+        ``rebuilds`` counts full re-lowerings from a frozen snapshot,
+        ``extends`` journal replays that refreshed the cached views, and
+        ``runs`` A-TxAllo runs served.  Benchmarks and tests use this to
+        prove the batched path actually carried across windows.
+        """
+        return dict(self._counts)
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        # A discarded workspace must not leave the graph journaling into
+        # the void — on a long-lived shared graph that log would grow
+        # with every future mutation (the graph-side JOURNAL_EDGE_CAP is
+        # the backstop when even this never runs).
+        try:
+            if self._graph is not None and self._journal is not None:
+                self._graph.stop_mutation_journal(self._journal)
+        except Exception:
+            pass
+
+    def invalidate(self) -> None:
+        """Drop all cached state; the next run rebuilds from a freeze.
+
+        The controller calls this on every global refresh — the refresh
+        replaces the allocation wholesale, so the id→shard view (and the
+        memory behind the row maps) has nothing left to cache.
+        """
+        if self._graph is not None and self._journal is not None:
+            self._graph.stop_mutation_journal(self._journal)
+        self._alloc = None
+        self._graph = None
+        self._journal = None
+        self._index_of = {}
+        self._nodes = []
+        self._rows = []
+        self._loop = []
+        self._shard = []
+        self._mutation_mark = -1
+
+    # ------------------------------------------------------------------
+    def sync(self, alloc: Allocation) -> None:
+        """Bring the views up to date for a run against ``alloc``."""
+        journal = self._journal
+        if (
+            self._alloc is not alloc
+            or self._graph is not alloc.graph
+            or journal is None
+            or journal.poisoned
+            or self._mutation_mark != alloc.mutation_count
+        ):
+            self._rebuild(alloc)
+            return
+        if journal.nodes or journal.edges:
+            self._apply_journal(alloc, journal)
+            self._counts["extends"] += 1
+
+    def _rebuild(self, alloc: Allocation) -> None:
+        graph = alloc.graph
+        if self._graph is not None and self._journal is not None:
+            self._graph.stop_mutation_journal(self._journal)
+        # Freeze first, then subscribe: every journal entry is then a
+        # mutation the snapshot has not seen.
+        csr = graph.freeze()
+        self._journal = graph.start_mutation_journal()
+        self._rows, self._loop = csr.adjacency_dicts()
+        self._nodes = list(csr.nodes)
+        self._index_of = dict(csr.index_of)
+        shard = [-1] * len(self._nodes)
+        index_of = self._index_of
+        for v, c in alloc._shard_of.items():
+            i = index_of.get(v)
+            if i is not None:
+                shard[i] = c
+        self._shard = shard
+        self._alloc = alloc
+        self._graph = graph
+        self._mutation_mark = alloc.mutation_count
+        self._counts["rebuilds"] += 1
+
+    def _apply_journal(self, alloc: Allocation, journal) -> None:
+        """Replay the journal onto the cached views (bit-exact).
+
+        New-neighbour entries land as ``0.0 + w`` and repeat increments
+        as ``old + w`` — the same float operations, in the same order,
+        the adjacency dicts themselves performed, so a row map always
+        equals what lowering the live dict row would produce.
+        """
+        index_of = self._index_of
+        nodes = self._nodes
+        rows = self._rows
+        loop = self._loop
+        shard = self._shard
+        shard_of_or_none = alloc.shard_of_or_none
+        for v in journal.nodes:
+            index_of[v] = len(nodes)
+            nodes.append(v)
+            rows.append({})
+            loop.append(0.0)
+            c = shard_of_or_none(v)
+            shard.append(-1 if c is None else c)
+        for u, v, w in journal.edges:
+            iu = index_of[u]
+            if u == v:
+                loop[iu] += w
+            else:
+                iv = index_of[v]
+                row = rows[iu]
+                row[iv] = row.get(iv, 0.0) + w
+                row = rows[iv]
+                row[iu] = row.get(iu, 0.0) + w
+        journal.clear()
+
+    def _note_run(self, alloc: Allocation) -> None:
+        """Record a completed run (mutation watermark + counter)."""
+        self._mutation_mark = alloc.mutation_count
+        self._counts["runs"] += 1
+
+
+def _a_txallo_workspace(
+    alloc: Allocation,
+    touched: Iterable[Node],
+    epsilon: float,
+    workspace: AdaptiveWorkspace,
+) -> Tuple[int, int, int, int, bool]:
+    """Algorithm 2 against the persistent workspace views.
+
+    Structurally the same two phases as the snapshot path in
+    :func:`a_txallo_flat`, but the per-run snapshot build (and the freeze
+    behind it) is replaced by :meth:`AdaptiveWorkspace.sync`.  Per-node
+    ``w_ext`` is re-summed from the row map in row order — the identical
+    float sequence a CSR lowering would produce — and neighbour
+    communities are read live through the dense ``shard`` array, which
+    the applied assigns/moves keep in lockstep with ``alloc``.  Scan
+    accumulation order matches the snapshot path entry for entry, so the
+    two paths are byte-identical.
+    """
+    workspace.sync(alloc)
+    params = alloc.params
+    k = params.k
+    eta = params.eta
+    lam = params.lam
+    num_comms = alloc.num_communities
+    index_of = workspace._index_of
+    rows = workspace._rows
+    loop = workspace._loop
+    shard = workspace._shard
+
+    hat_v: List[Node] = sorted(set(touched))
+    nv = len(hat_v)
+    ids: List[int] = []
+    for v in hat_v:
+        try:
+            ids.append(index_of[v])
+        except KeyError:
+            raise GraphError(f"unknown node {v!r}") from None
+
+    # Materialise each touched row once (the graph cannot mutate during a
+    # run) and re-derive w_self / w_ext: loop is maintained bit-exactly,
+    # and sum() over the row map adds the same floats left-to-right in
+    # iteration order — exactly the lowering's accumulation of csr.ext.
+    row_items: List[List[Tuple[int, float]]] = []
+    self_w = [0.0] * nv
+    ext_w = [0.0] * nv
+    for s, i in enumerate(ids):
+        row = rows[i]
+        row_items.append(list(row.items()))
+        self_w[s] = loop[i]
+        ext_w[s] = sum(row.values())
+
+    acc = [0.0] * num_comms
+    stamp = [0] * num_comms
+    epoch = 0
+
+    def scan(s: int) -> List[int]:
+        nonlocal epoch
+        epoch += 1
+        touched_comms: List[int] = []
+        for j, w in row_items[s]:
+            c = shard[j]
+            if c < 0:
+                continue  # unassigned neighbour carries no shard weight
+            if stamp[c] == epoch:
+                acc[c] += w
+            else:
+                stamp[c] = epoch
+                acc[c] = w
+                touched_comms.append(c)
+        return touched_comms
+
+    # Assign/move below pass *minimal* weight triples — only the source
+    # and destination communities are ever read (``by_shard.get(p)`` /
+    # ``.get(q)``), and the values are the same stamped accumulator reads
+    # the full per-community dict would carry, so the cache arithmetic is
+    # bit-identical to the snapshot path's ``weights_triple``.
+    def join_gain(q: int, w_q: float, w_self: float, w_ext: float) -> float:
+        sigma_q = alloc.sigma[q]
+        lam_hat_q = alloc.lam_hat[q]
+        sigma_new = sigma_q + w_self + eta * (w_ext - w_q) + (1.0 - eta) * w_q
+        lam_hat_new = lam_hat_q + w_self + w_ext / 2.0
+        if sigma_q <= lam or sigma_q == 0.0:
+            before = lam_hat_q
+        else:
+            before = lam / sigma_q * lam_hat_q
+        if sigma_new <= lam or sigma_new == 0.0:
+            after = lam_hat_new
+        else:
+            after = lam / sigma_new * lam_hat_new
+        return after - before
+
+    # --- Phase 1: brand-new accounts (Algorithm 2, lines 1-8) -----------
+    new_slots = [s for s in range(nv) if shard[ids[s]] < 0]
+    for s in new_slots:
+        touched_comms = scan(s)
+        w_self = self_w[s]
+        w_ext = ext_w[s]
+        candidates: Iterable[int] = sorted(
+            c for c in touched_comms if c < k and acc[c] > 0.0
+        )
+        if not candidates:
+            candidates = range(k)
+        best_q = -1
+        best_gain = -float("inf")
+        for q in candidates:
+            w_q = acc[q] if stamp[q] == epoch else 0.0
+            gain = join_gain(q, w_q, w_self, w_ext)
+            if gain > best_gain:
+                best_gain = gain
+                best_q = q
+        w_q = acc[best_q] if stamp[best_q] == epoch else 0.0
+        alloc.assign(hat_v[s], best_q, weights=({best_q: w_q}, w_self, w_ext))
+        shard[ids[s]] = best_q
+
+    # --- Phase 2: optimise the touched set (lines 9-17) -----------------
+    sigma = alloc.sigma
+    lam_hat = alloc.lam_hat
+    one_minus_eta = 1.0 - eta
+    eta_minus_one = eta - 1.0
+    neg_inf = -float("inf")
+    thpt = [0.0] * num_comms
+    for c in range(num_comms):
+        sigma_c = sigma[c]
+        if sigma_c <= lam or sigma_c == 0.0:
+            thpt[c] = lam_hat[c]
+        else:
+            thpt[c] = lam / sigma_c * lam_hat[c]
+
+    touched_comms: List[int] = []
+    sweeps = 0
+    moves = 0
+    converged = False
+    while sweeps < _ADAPTIVE_MAX_SWEEPS:
+        sweeps += 1
+        sweep_gain = 0.0
+        for s in range(nv):
+            i = ids[s]
+            p = shard[i]
+            epoch += 1
+            del touched_comms[:]
+            append = touched_comms.append
+            for j, w in row_items[s]:
+                c = shard[j]
+                if c < 0:
+                    continue  # unassigned neighbour carries no shard weight
+                if stamp[c] == epoch:
+                    acc[c] += w
+                else:
+                    stamp[c] = epoch
+                    acc[c] = w
+                    append(c)
+            if not touched_comms or (
+                len(touched_comms) == 1 and touched_comms[0] == p
+            ):
+                continue
+            touched_comms.sort()
+            w_self = self_w[s]
+            w_ext = ext_w[s]
+            half_ext = w_ext / 2.0
+            w_p = acc[p] if stamp[p] == epoch else 0.0
+            sigma_new = sigma[p] - w_self - eta * (w_ext - w_p) + eta_minus_one * w_p
+            lam_hat_new = lam_hat[p] - w_self - half_ext
+            if sigma_new <= lam or sigma_new == 0.0:
+                after = lam_hat_new
+            else:
+                after = lam / sigma_new * lam_hat_new
+            leave = after - thpt[p]
+            best_q = -1
+            best_gain = neg_inf
+            for q in touched_comms:
+                if q == p:
+                    continue
+                w_q = acc[q]
+                sigma_new = sigma[q] + w_self + eta * (w_ext - w_q) + one_minus_eta * w_q
+                lam_hat_new = lam_hat[q] + w_self + half_ext
+                if sigma_new <= lam or sigma_new == 0.0:
+                    join_after = lam_hat_new
+                else:
+                    join_after = lam / sigma_new * lam_hat_new
+                gain = leave + (join_after - thpt[q])
+                if gain > best_gain:
+                    best_gain = gain
+                    best_q = q
+            if best_q >= 0 and best_gain > 0.0:
+                alloc.move(
+                    hat_v[s],
+                    best_q,
+                    weights=({p: w_p, best_q: acc[best_q]}, w_self, w_ext),
+                )
+                shard[i] = best_q
+                sigma_p = sigma[p]
+                if sigma_p <= lam or sigma_p == 0.0:
+                    thpt[p] = lam_hat[p]
+                else:
+                    thpt[p] = lam / sigma_p * lam_hat[p]
+                sigma_q = sigma[best_q]
+                if sigma_q <= lam or sigma_q == 0.0:
+                    thpt[best_q] = lam_hat[best_q]
+                else:
+                    thpt[best_q] = lam / sigma_q * lam_hat[best_q]
+                sweep_gain += best_gain
+                moves += 1
+        if sweep_gain < epsilon:
+            converged = True
+            break
+
+    workspace._note_run(alloc)
+    return len(new_slots), nv, sweeps, moves, converged

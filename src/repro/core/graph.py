@@ -37,6 +37,13 @@ proportional to the block frontier rather than to N + E.  Bulk rewrites
 either way the resulting snapshot is element-identical to a cold
 ``CSRGraph.from_graph``.
 
+Independently of the freeze-relative delta log, a consumer may subscribe
+to a :class:`MutationJournal` (``start_mutation_journal``): an
+append-only log of new nodes and edge-weight increments that the
+adaptive workspace (:class:`repro.core.engine.AdaptiveWorkspace`)
+replays to keep its flat neighbourhood state current *without* freezing
+the graph at all between global refreshes.
+
 Determinism
 -----------
 ``nodes()`` and ``neighbours()`` iterate in *insertion order* which, for a
@@ -66,6 +73,48 @@ Node = str
 #: of the graph's nodes need re-lowering — past that point the incremental
 #: bookkeeping costs more than the straight O(N + E) pass it avoids.
 DELTA_REBUILD_FRACTION = 0.25
+
+#: Safety valve on mutation-journal growth: past this many edge entries
+#: the journal is poisoned and detached, so an abandoned consumer (e.g. a
+#: discarded controller whose workspace was never invalidated) cannot
+#: grow the log without bound.  Generous on purpose — a τ₂ window at
+#: bench scale logs a few thousand entries; a live consumer drains the
+#: journal every adaptive run and never gets anywhere near it.
+JOURNAL_EDGE_CAP = 1_000_000
+
+
+class MutationJournal:
+    """Consumable log of graph mutations since the last :meth:`drain`.
+
+    The adaptive workspace (:class:`repro.core.engine.AdaptiveWorkspace`)
+    keeps flat neighbourhood state alive *across* A-TxAllo runs instead of
+    re-freezing the graph every τ₁ window.  It stays current by replaying
+    this journal: ``nodes`` lists brand-new accounts in insertion order,
+    ``edges`` lists every ``add_edge`` weight increment ``(u, v, w)`` in
+    call order (self-loops as ``u == v``) — applying the increments in
+    order reproduces the adjacency dicts' float accumulations bit for
+    bit.  ``poisoned`` flags an out-of-band rewrite (window decay,
+    pruning, a newer journal replacing this one) that the append-only log
+    cannot describe; consumers must discard their derived state and
+    rebuild from a fresh :meth:`TransactionGraph.freeze`.
+
+    A graph feeds at most one journal at a time
+    (:meth:`TransactionGraph.start_mutation_journal` poisons any previous
+    one), so two workspaces sharing a graph degrade to rebuild-per-run
+    rather than silently corrupting each other.
+    """
+
+    __slots__ = ("nodes", "edges", "poisoned")
+
+    def __init__(self) -> None:
+        self.nodes: List[Node] = []
+        self.edges: List[Tuple[Node, Node, float]] = []
+        self.poisoned: bool = False
+
+    def clear(self) -> None:
+        """Drop the drained entries (consumers call this after replay)."""
+        self.nodes = []
+        self.edges = []
 
 
 def pair_count(num_accounts: int) -> int:
@@ -102,6 +151,7 @@ class TransactionGraph:
         "_delta_full",
         "_delta_enabled",
         "_freeze_counts",
+        "_journal",
     )
 
     def __init__(self) -> None:
@@ -123,6 +173,8 @@ class TransactionGraph:
         self._delta_full: bool = False
         self._delta_enabled: bool = True
         self._freeze_counts: Dict[str, int] = {"full": 0, "delta": 0, "cached": 0}
+        # Optional mutation journal (adaptive-workspace consumer).
+        self._journal: Optional[MutationJournal] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -134,6 +186,9 @@ class TransactionGraph:
             self._version += 1
             if self._delta_enabled and not self._delta_full and self._frozen is not None:
                 self._delta_nodes.append(v)
+            journal = self._journal
+            if journal is not None:
+                journal.nodes.append(v)
 
     def add_edge(self, u: Node, v: Node, weight: float) -> None:
         """Accumulate ``weight`` on the undirected edge ``{u, v}``.
@@ -160,6 +215,16 @@ class TransactionGraph:
         if self._delta_enabled and not self._delta_full and self._frozen is not None:
             self._delta_touched.add(u)
             self._delta_touched.add(v)
+        journal = self._journal
+        if journal is not None:
+            edges = journal.edges
+            edges.append((u, v, weight))
+            if len(edges) > JOURNAL_EDGE_CAP:
+                # No live consumer is draining this journal; stop paying
+                # for it.  The (poisoned) journal makes any late reader
+                # rebuild instead of trusting a truncated log.
+                journal.poisoned = True
+                self._journal = None
 
     def add_transaction(self, accounts: Iterable[Node]) -> None:
         """Ingest one transaction per Definition 2.
@@ -382,6 +447,39 @@ class TransactionGraph:
         self._delta_full = True
         self._delta_nodes = []
         self._delta_touched.clear()
+        journal = self._journal
+        if journal is not None:
+            # Poison *and* detach: the consumer must rebuild anyway, so
+            # appending further entries would be pure waste.
+            journal.poisoned = True
+            self._journal = None
+
+    # ------------------------------------------------------------------
+    # Mutation journal (adaptive-workspace plumbing)
+    # ------------------------------------------------------------------
+    def start_mutation_journal(self) -> MutationJournal:
+        """Begin journaling mutations; returns the fresh journal.
+
+        From this call on, every new node and every ``add_edge`` weight
+        increment is appended to the returned :class:`MutationJournal`
+        until it is replaced by another ``start_mutation_journal`` call
+        (which poisons it) or detached via :meth:`stop_mutation_journal`.
+        Bulk rewrites (:meth:`_mark_bulk_mutation`) and overflowing
+        :data:`JOURNAL_EDGE_CAP` poison *and* detach it.  The caller
+        owns draining and clearing it; the graph only appends.
+        """
+        old = self._journal
+        if old is not None:
+            old.poisoned = True
+        journal = MutationJournal()
+        self._journal = journal
+        return journal
+
+    def stop_mutation_journal(self, journal: MutationJournal) -> None:
+        """Detach ``journal`` (no-op if it is not the active one)."""
+        journal.poisoned = True
+        if self._journal is journal:
+            self._journal = None
 
     # ------------------------------------------------------------------
     # Derived views

@@ -2,8 +2,9 @@
 
 import random
 
+import pytest
 
-from repro.core.atxallo import a_txallo
+from repro.core.atxallo import MAX_SWEEPS, a_txallo
 from repro.core.gtxallo import g_txallo
 from repro.core.params import TxAlloParams
 from tests.conftest import make_random_graph
@@ -137,3 +138,49 @@ class TestApproximationQuality:
         adaptive_thpt = alloc.total_throughput()
         global_thpt = fresh.total_throughput()
         assert adaptive_thpt >= 0.9 * global_thpt
+
+
+class TestConvergedFlag:
+    def test_normal_runs_report_convergence(self):
+        graph, params, alloc = prepared()
+        touched = ingest(graph, alloc, [("fresh", next(iter(graph.nodes())))])
+        result = a_txallo(alloc, touched)
+        assert result.converged is True
+        assert result.sweeps < MAX_SWEEPS
+
+    @pytest.mark.parametrize("backend", ("reference", "fast"))
+    def test_epsilon_zero_exhausts_cap_and_flags_it(self, backend):
+        """ε=0 can never satisfy `sweep_gain < ε`, so the run must stop
+        at MAX_SWEEPS and report converged=False on every backend —
+        previously a truncated run was indistinguishable from a
+        converged one."""
+        graph, params, alloc = prepared()
+        nodes = list(graph.nodes())
+        touched = ingest(graph, alloc, [(nodes[0], nodes[1])])
+        result = a_txallo(alloc, touched, epsilon=0.0, backend=backend)
+        assert result.sweeps == MAX_SWEEPS
+        assert result.converged is False
+
+    def test_epsilon_zero_workspace_path_matches(self):
+        from repro.core.engine import AdaptiveWorkspace
+
+        graph, params, alloc = prepared()
+        nodes = list(graph.nodes())
+        touched = ingest(graph, alloc, [(nodes[0], nodes[1])])
+        result = a_txallo(
+            alloc, touched, epsilon=0.0, workspace=AdaptiveWorkspace()
+        )
+        assert result.sweeps == MAX_SWEEPS
+        assert result.converged is False
+
+    def test_default_keeps_old_consumers_working(self):
+        """The field defaults to True so results built without it (e.g.
+        persisted replays) read as converged."""
+        from repro.core.atxallo import ATxAlloResult
+
+        graph, params, alloc = prepared()
+        result = ATxAlloResult(
+            allocation=alloc, new_nodes=0, swept_nodes=0, sweeps=1,
+            moves=0, seconds=0.0,
+        )
+        assert result.converged is True

@@ -4,12 +4,15 @@
 speedup of the flat-array CSR engine over the reference implementation
 (standing gate >= 3x); ``benchmarks/BENCH_louvain.json`` records the
 turbo warm-started τ₂ refresh against the cold fast-backend refresh
-(standing gates: >= 2x, objective within the pinned tolerance).  These
-tests load whichever run table is on disk — in CI's perf job that is the
-file *regenerated on this very commit* — and fail the suite on a
-regression.  Each skips cleanly when its file is absent (fresh checkout
-without bench artifacts); regenerate with the matching
-``benchmarks/bench_*.py`` script.
+(standing gates: >= 2x, objective within the pinned tolerance);
+``benchmarks/BENCH_adaptive.json`` records the adaptive-workspace
+Fig. 9 block-loop against the snapshot-per-run fast path (standing
+gates: >= 1.3x end-to-end, byte-identical, workspace actually extends
+across windows).  These tests load whichever run table is on disk — in
+CI's perf job that is the file *regenerated on this very commit* — and
+fail the suite on a regression.  Each skips cleanly when its file is
+absent (fresh checkout without bench artifacts); regenerate with the
+matching ``benchmarks/bench_*.py`` script.
 """
 
 import json
@@ -20,9 +23,11 @@ import pytest
 BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
 BENCH_PATH = BENCH_DIR / "BENCH_engine.json"
 LOUVAIN_PATH = BENCH_DIR / "BENCH_louvain.json"
+ADAPTIVE_PATH = BENCH_DIR / "BENCH_adaptive.json"
 
 GRID_SPEEDUP_GATE = 3.0
 WARM_REFRESH_GATE = 2.0
+ADAPTIVE_LOOP_GATE = 1.3
 
 
 def _load_payload():
@@ -76,6 +81,49 @@ def test_warm_objective_within_tolerance():
         f"than {tolerance} below the cold fast-backend objective"
     )
     assert payload["warm_stats"]["warm"] > 0, "run table recorded no warm refresh"
+
+
+def _load_adaptive():
+    if not ADAPTIVE_PATH.exists():
+        pytest.skip(
+            "benchmarks/BENCH_adaptive.json absent; run "
+            "benchmarks/bench_adaptive.py to regenerate"
+        )
+    return json.loads(ADAPTIVE_PATH.read_text())
+
+
+def test_adaptive_loop_speedup_gate():
+    payload = _load_adaptive()
+    assert payload["speedup"] >= ADAPTIVE_LOOP_GATE, (
+        f"adaptive-workspace block-loop speedup {payload['speedup']:.2f}x fell "
+        f"below the {ADAPTIVE_LOOP_GATE}x gate; rerun "
+        "benchmarks/bench_adaptive.py and investigate the regression"
+    )
+
+
+def test_adaptive_loop_byte_identical_and_batched():
+    payload = _load_adaptive()
+    assert payload["byte_identical"] is True
+    assert payload["workspace_stats"]["extends"] > 0, (
+        "run table recorded no cross-window workspace extend"
+    )
+
+
+def test_adaptive_run_table_schema():
+    payload = _load_adaptive()
+    for key in (
+        "scale",
+        "base_loop_seconds",
+        "workspace_loop_seconds",
+        "speedup",
+        "adaptive_base_ms",
+        "adaptive_workspace_ms",
+        "adaptive_speedup",
+        "workspace_stats",
+        "byte_identical",
+    ):
+        assert key in payload, key
+    assert payload["workspace_loop_seconds"] > 0.0
 
 
 def test_louvain_run_table_schema():

@@ -1,11 +1,12 @@
 """Fast smoke tests for the perf run-table plumbing.
 
-Runs ``benchmarks/bench_delta_freeze.py`` and
-``benchmarks/bench_louvain_warm.py`` end-to-end at a small scale and
-asserts the run tables regenerate and the incremental/warm paths were
-actually exercised — so the benchmarks (and the ``BENCH_*.json``
-trajectories later PRs gate against) cannot silently rot.  The speedup
-gates themselves only apply at the benchmarks' own scale, not here.
+Runs ``benchmarks/bench_delta_freeze.py``,
+``benchmarks/bench_louvain_warm.py`` and ``benchmarks/bench_adaptive.py``
+end-to-end at a small scale and asserts the run tables regenerate and
+the incremental/warm/batched paths were actually exercised — so the
+benchmarks (and the ``BENCH_*.json`` trajectories later PRs gate
+against) cannot silently rot.  The speedup gates themselves only apply
+at the benchmarks' own scale, not here.
 """
 
 import importlib.util
@@ -15,6 +16,7 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
 BENCH_PATH = BENCH_DIR / "bench_delta_freeze.py"
 WARM_BENCH_PATH = BENCH_DIR / "bench_louvain_warm.py"
+ADAPTIVE_BENCH_PATH = BENCH_DIR / "bench_adaptive.py"
 
 
 def _load_module(path):
@@ -110,5 +112,48 @@ def test_committed_louvain_run_table_is_current():
     committed = BENCH_DIR / "BENCH_louvain.json"
     assert committed.exists(), "run benchmarks/bench_louvain_warm.py to regenerate"
     bench = _load_module(WARM_BENCH_PATH)
+    payload = json.loads(committed.read_text())
+    assert bench.check_gates(payload) == []
+
+
+def test_bench_adaptive_regenerates_and_batches(tmp_path):
+    """bench_adaptive end-to-end at a small scale: the run table must
+    regenerate, the two loops must be byte-identical (run_bench asserts
+    it), and the workspace must actually extend across τ₁ windows."""
+    bench = _load_module(ADAPTIVE_BENCH_PATH)
+    out_path = tmp_path / "BENCH_adaptive.json"
+    payload = bench.run_bench(scale=0.05, out_path=out_path)
+
+    assert out_path.exists()
+    assert json.loads(out_path.read_text()) == payload
+
+    for key in (
+        "scale",
+        "n_nodes",
+        "stream_blocks",
+        "base_loop_seconds",
+        "workspace_loop_seconds",
+        "speedup",
+        "adaptive_base_ms",
+        "adaptive_workspace_ms",
+        "adaptive_speedup",
+        "workspace_stats",
+        "byte_identical",
+    ):
+        assert key in payload, key
+
+    assert payload["byte_identical"] is True
+    assert payload["workspace_stats"]["extends"] > 0
+    assert payload["workspace_stats"]["runs"] > 0
+    # The byte-identity + batching gates hold at any scale, unlike the
+    # timing one.
+    assert payload["workspace_loop_seconds"] > 0
+
+
+def test_committed_adaptive_run_table_is_current():
+    """The checked-in BENCH_adaptive.json must satisfy the standing gates."""
+    committed = BENCH_DIR / "BENCH_adaptive.json"
+    assert committed.exists(), "run benchmarks/bench_adaptive.py to regenerate"
+    bench = _load_module(ADAPTIVE_BENCH_PATH)
     payload = json.loads(committed.read_text())
     assert bench.check_gates(payload) == []

@@ -1,6 +1,8 @@
 """Tests for the τ₁/τ₂ dynamic controller."""
 
 
+import pytest
+
 from repro.core.controller import TxAlloController
 from repro.core.params import TxAlloParams
 from repro.data.synthetic import EthereumWorkloadGenerator, WorkloadConfig
@@ -119,11 +121,15 @@ class TestStateIntegrity:
         assert first.allocation.lam_hat == second.allocation.lam_hat  # exact
 
     def test_incremental_freezes_on_the_block_loop(self):
-        """The controller path must ride the delta-freeze: after the
-        seeded global run, scheduled updates extend the snapshot."""
+        """The non-workspace controller path must ride the delta-freeze:
+        after the seeded global run, scheduled updates extend the
+        snapshot.  (With the adaptive workspace — the default — the τ₁
+        loop does not freeze at all; see TestAdaptiveWorkspace.)"""
         params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=1, tau2=50)
         controller = TxAlloController(
-            params, seed_transactions=[b for blk in block_stream(12) for b in blk]
+            params,
+            seed_transactions=[b for blk in block_stream(12) for b in blk],
+            adaptive_workspace=False,
         )
         for block in block_stream(8, block_size=10, seed=10):
             controller.observe_block(block)
@@ -147,3 +153,170 @@ class TestStateIntegrity:
         )
         events = [controller.observe_block(b) for b in block_stream(4)]
         assert all(e is None for e in events)
+
+
+class TestScheduleEdgeCases:
+    def test_tau1_equals_tau2_global_subsumes_adaptive(self):
+        """When both periods hit the same block the global runs, the
+        adaptive is subsumed, and the touched-set is cleared exactly
+        once (by the global)."""
+        params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=3, tau2=3)
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        fired = []
+        for block in block_stream(6):
+            event = controller.observe_block(block)
+            if event is not None:
+                fired.append(event)
+                # The global must have consumed the window's touched-set.
+                assert controller._touched == set()
+        assert [e.kind for e in fired] == ["global", "global"]
+        assert controller.adaptive_events == []
+        controller.allocation.validate()
+
+    def test_epsilon_zero_terminates_via_sweep_cap(self):
+        """ε=0 can never satisfy `sweep_gain < ε` (gains are >= 0), so the
+        run must stop at MAX_SWEEPS and flag the truncation."""
+        params = TxAlloParams(k=2, eta=2.0, lam=1000.0, epsilon=0.0, tau1=100, tau2=1000)
+        controller = TxAlloController(params, seed_transactions=[("a", "b"), ("b", "c")])
+        controller.observe_block([("a", "c"), ("c", "d")])
+        event = controller.force_adaptive()
+        assert event.kind == "adaptive"
+        assert event.converged is False
+        adaptive = controller.adaptive_events[-1]
+        assert adaptive is event
+        controller.allocation.validate()
+
+    def test_force_adaptive_right_after_global_is_cheap_noop(self):
+        """A global refresh clears the touched-set; an immediate
+        force_adaptive must be a no-op event, not an error."""
+        params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=100, tau2=1000)
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        for block in block_stream(3):
+            controller.observe_block(block)
+        controller.force_global()
+        mapping_before = controller.allocation.mapping()
+        event = controller.force_adaptive()
+        assert event.kind == "adaptive"
+        assert event.touched == 0
+        assert event.moves == 0
+        assert event.converged is True
+        assert controller.allocation.mapping() == mapping_before
+
+    def test_converged_true_on_normal_runs_and_default(self):
+        params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=1, tau2=100)
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        events = [controller.observe_block(b) for b in block_stream(4)]
+        assert all(e.converged for e in events if e is not None)
+        # The seed global event carries the default.
+        assert controller.events[0].converged is True
+
+
+class TestAdaptiveExceptionSafety:
+    def test_touched_set_survives_a_raising_adaptive_run(self, monkeypatch):
+        """Regression: _run_adaptive used to clear the touched-set before
+        calling a_txallo, so a raising run silently lost the accumulated
+        accounts and the next run swept nothing."""
+        params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=2, tau2=1000)
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        blocks = block_stream(2)
+        controller.observe_block(blocks[0])
+        accumulated = set(controller._touched)
+        assert accumulated, "first block must leave accounts pending"
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected a_txallo failure")
+
+        monkeypatch.setattr("repro.core.controller.a_txallo", boom)
+        with pytest.raises(RuntimeError):
+            controller.observe_block(blocks[1])  # block 2 -> adaptive due
+        # Both blocks' accounts are still pending.
+        assert controller._touched >= accumulated
+        monkeypatch.undo()
+
+        event = controller.force_adaptive()
+        assert event.touched >= len(accumulated)
+        assert controller._touched == set()
+        controller.allocation.validate()
+
+    def test_failed_run_does_not_append_an_event(self, monkeypatch):
+        params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=1, tau2=1000)
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        num_events = len(controller.events)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected a_txallo failure")
+
+        monkeypatch.setattr("repro.core.controller.a_txallo", boom)
+        with pytest.raises(RuntimeError):
+            controller.observe_block([("a", "c")])
+        assert len(controller.events) == num_events
+
+
+class TestAdaptiveWorkspace:
+    def test_block_loop_stops_freezing_between_globals(self):
+        """With the workspace (the default) the τ₁ loop must not freeze
+        the graph between global refreshes — the whole point of the
+        batched path."""
+        params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=1, tau2=50)
+        controller = TxAlloController(
+            params, seed_transactions=[b for blk in block_stream(12) for b in blk]
+        )
+        freezes_after_seed = sum(controller.freeze_stats.values())
+        for block in block_stream(8, block_size=10, seed=10):
+            controller.observe_block(block)
+        stats = controller.workspace_stats
+        assert stats["runs"] == 8
+        assert stats["rebuilds"] == 1  # the first adaptive run only
+        assert stats["extends"] == 7  # every later window rode the journal
+        # Exactly one freeze happened after the seed: the rebuild's.
+        assert sum(controller.freeze_stats.values()) == freezes_after_seed + 1
+
+    def test_workspace_invalidated_by_global_refresh(self):
+        params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=1, tau2=4)
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        for block in block_stream(8):
+            controller.observe_block(block)
+        stats = controller.workspace_stats
+        # Two scheduled globals (blocks 4, 8) -> the next adaptive after
+        # each rebuilds; runs in between extend.
+        assert stats["rebuilds"] >= 2
+        assert stats["extends"] >= 1
+        controller.force_adaptive()
+        controller.allocation.validate()
+
+    def test_workspace_disabled_for_reference_backend(self):
+        params = TxAlloParams(
+            k=4, eta=2.0, lam=1000.0, tau1=2, tau2=6, backend="reference"
+        )
+        controller = TxAlloController(params, seed_transactions=[("a", "b")])
+        for block in block_stream(4):
+            controller.observe_block(block)
+        assert controller.workspace_stats == {"rebuilds": 0, "extends": 0, "runs": 0}
+        controller.allocation.validate()
+
+    def test_workspace_off_matches_workspace_on_exactly(self):
+        params = TxAlloParams(k=4, eta=2.0, lam=1000.0, tau1=1, tau2=5)
+        controllers = []
+        for workspace in (False, True):
+            controller = TxAlloController(
+                params,
+                seed_transactions=[("a", "b")],
+                adaptive_workspace=workspace,
+            )
+            for block in block_stream(10):
+                controller.observe_block(block)
+            controller.force_adaptive()
+            controllers.append(controller)
+        off, on = controllers
+        assert off.allocation.mapping() == on.allocation.mapping()
+        assert off.allocation.sigma == on.allocation.sigma      # exact floats
+        assert off.allocation.lam_hat == on.allocation.lam_hat  # exact floats
+        assert [
+            (e.kind, e.block_height, e.moves, e.touched, e.converged)
+            for e in off.events
+        ] == [
+            (e.kind, e.block_height, e.moves, e.touched, e.converged)
+            for e in on.events
+        ]
+        assert on.workspace_stats["extends"] > 0
+        assert off.workspace_stats == {"rebuilds": 0, "extends": 0, "runs": 0}

@@ -256,3 +256,100 @@ class TestDecayFreezeInterplay:
         assert ref[1] == fast[1]   # exact floats
         assert ref[2] == fast[2]   # exact floats
         assert ref[3] == fast[3]
+
+
+class TestAdaptiveWorkspaceInterleavings:
+    """Workspace-vs-snapshot byte-parity across the full controller
+    lifecycle: block ingest, scheduled adaptive runs, scheduled and
+    forced global refreshes, forced adaptives and window decay (which
+    poisons the workspace's journal and must force a rebuild)."""
+
+    def _drive(self, seed, workspace_enabled, decaying):
+        from repro.core.controller import TxAlloController
+
+        rng = random.Random(seed)
+        accounts = [f"acc{i:03d}" for i in range(180)]
+        if decaying:
+            graph = DecayingTransactionGraph(decay=0.8, prune_threshold=1e-4)
+        else:
+            graph = TransactionGraph()
+        seed_graph(rng, graph, accounts, 900)
+        params = TxAlloParams.with_capacity_for(
+            900, k=4, eta=2.0, tau1=1, tau2=7
+        )
+        controller = TxAlloController(
+            params, graph=graph, adaptive_workspace=workspace_enabled
+        )
+        for step in range(20):
+            block = []
+            for _ in range(rng.randrange(2, 8)):
+                accs = rng.sample(accounts, 2)
+                if rng.random() < 0.25:
+                    accs.append(f"fresh{seed}_{step}_{rng.randrange(2)}")
+                block.append(tuple(accs))
+            controller.observe_block(block)
+            roll = rng.random()
+            if decaying and roll < 0.15:
+                graph.advance_window()
+            elif roll < 0.25:
+                controller.force_adaptive()
+            elif roll < 0.3:
+                controller.force_global()
+        controller.force_adaptive()
+        return controller
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    @pytest.mark.parametrize("decaying", (False, True))
+    def test_workspace_byte_identical_across_lifecycle(self, seed, decaying):
+        base = self._drive(seed, workspace_enabled=False, decaying=decaying)
+        batched = self._drive(seed, workspace_enabled=True, decaying=decaying)
+        assert base.allocation.mapping() == batched.allocation.mapping()
+        assert base.allocation.sigma == batched.allocation.sigma        # exact
+        assert base.allocation.lam_hat == batched.allocation.lam_hat    # exact
+        assert [
+            (e.kind, e.block_height, e.moves, e.touched, e.converged)
+            for e in base.events
+        ] == [
+            (e.kind, e.block_height, e.moves, e.touched, e.converged)
+            for e in batched.events
+        ]
+        stats = batched.workspace_stats
+        assert stats["runs"] > 0
+        assert stats["extends"] > 0, "workspace never carried across a window"
+        if decaying:
+            # Decay poisons the journal: at least one rebuild beyond the
+            # first adaptive run and any global-refresh invalidations.
+            assert stats["rebuilds"] >= 2
+
+    def test_decay_between_runs_forces_rebuild_not_staleness(self):
+        """Directly pin the poisoned-journal path: decay between two
+        workspace runs must rebuild from a fresh freeze (the decayed
+        weights), not replay stale rows."""
+        from repro.core.engine import AdaptiveWorkspace
+
+        rng = random.Random(13)
+        accounts = [f"acc{i:03d}" for i in range(100)]
+        results = {}
+        for label in ("snapshot", "workspace"):
+            rng = random.Random(13)
+            g = DecayingTransactionGraph(decay=0.5, prune_threshold=1e-4)
+            seed_graph(rng, g, accounts, 600)
+            params = TxAlloParams.with_capacity_for(600, k=4, eta=2.0)
+            alloc = g_txallo(g, params).allocation
+            workspace = AdaptiveWorkspace() if label == "workspace" else None
+            stats = []
+            for step in range(4):
+                touched = set()
+                for _ in range(15):
+                    accs = rng.sample(accounts, 2)
+                    g.add_transaction(accs)
+                    alloc.ingest_transaction(accs)
+                    touched.update(accs)
+                res = a_txallo(alloc, touched, workspace=workspace)
+                stats.append((res.new_nodes, res.swept_nodes, res.sweeps, res.moves))
+                if step == 1:
+                    g.advance_window()  # poisons the journal mid-sequence
+            results[label] = (alloc.mapping(), alloc.sigma, alloc.lam_hat, stats)
+            if workspace is not None:
+                assert workspace.stats["rebuilds"] >= 2
+        assert results["snapshot"] == results["workspace"]

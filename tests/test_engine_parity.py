@@ -238,3 +238,145 @@ class TestBackendPlumbing:
             g_txallo(g, params, backend="nope")
         with pytest.raises(ValueError):
             louvain_partition(g, backend="nope")
+
+
+def _atxallo_workspace_state(seed, k, rounds=3):
+    """Like _atxallo_state("fast") but batched through one workspace."""
+    from repro.core.engine import AdaptiveWorkspace
+
+    g = make_random_graph(num_accounts=80, num_transactions=500, seed=seed, groups=4)
+    params = TxAlloParams.with_capacity_for(500, k=k, eta=2.0, backend="fast")
+    alloc = g_txallo(g, params).allocation
+    workspace = AdaptiveWorkspace()
+    rng = random.Random(seed)
+    stats = []
+    for round_ in range(rounds):
+        nodes = list(g.nodes())
+        txs = [tuple(rng.sample(nodes, 2)) for _ in range(40)]
+        txs += [(f"new{round_}_{i}", rng.choice(nodes)) for i in range(5)]
+        txs.append((f"lonely{round_}",))
+        touched = _ingest(g, alloc, txs)
+        result = a_txallo(alloc, touched, workspace=workspace)
+        stats.append(
+            (result.new_nodes, result.swept_nodes, result.sweeps, result.moves)
+        )
+    return alloc, stats, workspace
+
+
+class TestAdaptiveWorkspaceParity:
+    """The workspace is a cache, not a backend level: batched runs must be
+    byte-identical to snapshot-per-run fast (and hence reference) runs."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("k", (2, 6))
+    def test_evolving_allocation_matches_snapshot_path(self, seed, k):
+        snap_alloc, snap_stats = _atxallo_state(seed, k, "fast")
+        ws_alloc, ws_stats, workspace = _atxallo_workspace_state(seed, k)
+        assert snap_stats == ws_stats
+        assert snap_alloc.mapping() == ws_alloc.mapping()
+        assert snap_alloc.sigma == ws_alloc.sigma          # exact floats
+        assert snap_alloc.lam_hat == ws_alloc.lam_hat      # exact floats
+        counters = workspace.stats
+        assert counters["rebuilds"] == 1
+        assert counters["extends"] == 2  # rounds 2 and 3 rode the journal
+
+    def test_caches_exact_after_batched_runs(self):
+        alloc, _, _ = _atxallo_workspace_state(7, 4, rounds=6)
+        alloc.validate(check_caches=True)
+
+    def test_unknown_node_rejected_through_workspace(self):
+        from repro.core.engine import AdaptiveWorkspace
+        from repro.errors import GraphError
+
+        g = make_random_graph(seed=3)
+        params = TxAlloParams.with_capacity_for(400, k=4, backend="fast")
+        alloc = g_txallo(g, params).allocation
+        with pytest.raises(GraphError):
+            a_txallo(alloc, ["never-ingested"], workspace=AdaptiveWorkspace())
+
+    def test_workspace_rebuilds_when_allocation_is_replaced(self):
+        """Reusing a workspace against a brand-new allocation (what a
+        global refresh produces) must transparently rebuild, not serve
+        the old id→shard view."""
+        from repro.core.engine import AdaptiveWorkspace
+
+        g = make_random_graph(seed=6)
+        params = TxAlloParams.with_capacity_for(400, k=4, eta=2.0, backend="fast")
+        workspace = AdaptiveWorkspace()
+        alloc = g_txallo(g, params).allocation
+        rng = random.Random(6)
+        nodes = list(g.nodes())
+        touched = _ingest(g, alloc, [tuple(rng.sample(nodes, 2)) for _ in range(20)])
+        a_txallo(alloc, touched, workspace=workspace)
+
+        refreshed = g_txallo(g, params).allocation  # "global refresh"
+        twin = refreshed.copy()
+        # One graph ingest, mirrored into both allocations' caches.
+        touched = set()
+        for _ in range(20):
+            accounts = tuple(rng.sample(nodes, 2))
+            g.add_transaction(accounts)
+            refreshed.ingest_transaction(accounts)
+            twin.ingest_transaction(accounts)
+            touched.update(accounts)
+        result_ws = a_txallo(refreshed, touched, workspace=workspace)
+        result_snap = a_txallo(twin, touched)
+        assert result_ws.moves == result_snap.moves
+        assert result_ws.sweeps == result_snap.sweeps
+        assert refreshed.mapping() == twin.mapping()
+        assert refreshed.sigma == twin.sigma
+        assert refreshed.lam_hat == twin.lam_hat
+        assert workspace.stats["rebuilds"] == 2
+
+    def test_empty_touched_set_through_workspace(self):
+        from repro.core.engine import AdaptiveWorkspace
+
+        g = make_random_graph(seed=3)
+        params = TxAlloParams.with_capacity_for(400, k=4, backend="fast")
+        alloc = g_txallo(g, params).allocation
+        before = alloc.mapping()
+        result = a_txallo(alloc, [], workspace=AdaptiveWorkspace())
+        assert result.moves == 0 and result.sweeps >= 1
+        assert alloc.mapping() == before
+
+    def test_foreign_move_between_runs_forces_rebuild(self):
+        """A move applied behind the workspace's back (same allocation
+        object, same length) must be detected via the mutation watermark
+        and trigger a rebuild — never a stale id→shard view."""
+        from repro.core.engine import AdaptiveWorkspace
+
+        g = make_random_graph(seed=15)
+        params = TxAlloParams.with_capacity_for(400, k=4, eta=2.0, backend="fast")
+        workspace = AdaptiveWorkspace()
+        alloc = g_txallo(g, params).allocation
+        twin = alloc.copy()
+        rng = random.Random(15)
+        nodes = list(g.nodes())
+
+        def shared_ingest(count):
+            touched = set()
+            for _ in range(count):
+                accounts = tuple(rng.sample(nodes, 2))
+                g.add_transaction(accounts)
+                alloc.ingest_transaction(accounts)
+                twin.ingest_transaction(accounts)
+                touched.update(accounts)
+            return touched
+
+        touched = shared_ingest(20)
+        a_txallo(alloc, touched, workspace=workspace)
+        a_txallo(twin, touched)
+
+        # Foreign mutation: move one account directly on both copies.
+        victim = nodes[0]
+        target = (alloc.shard_of(victim) + 1) % params.k
+        alloc.move(victim, target)
+        twin.move(victim, target)
+
+        touched = shared_ingest(20)
+        a_txallo(alloc, touched, workspace=workspace)
+        a_txallo(twin, touched)
+        assert workspace.stats["rebuilds"] == 2  # drift detected
+        assert alloc.mapping() == twin.mapping()
+        assert alloc.sigma == twin.sigma
+        assert alloc.lam_hat == twin.lam_hat

@@ -340,3 +340,45 @@ class TestFreeze:
         assert order == g.nodes_sorted()
         for i in range(csr.num_nodes):
             assert csr.sorted_order[csr.sorted_rank[i]] == i
+
+
+class TestMutationJournal:
+    def test_records_nodes_and_edge_increments_in_order(self):
+        g = TransactionGraph()
+        g.add_transaction(("a", "b"))
+        journal = g.start_mutation_journal()
+        g.add_transaction(("a", "b"))   # existing pair: increment only
+        g.add_transaction(("c",))       # new node + self-loop
+        assert journal.nodes == ["c"]
+        assert journal.edges == [("a", "b", 1.0), ("c", "c", 1.0)]
+        journal.clear()
+        assert journal.nodes == [] and journal.edges == []
+        assert not journal.poisoned
+
+    def test_bulk_mutation_poisons_and_detaches(self):
+        from repro.core.forecast import DecayingTransactionGraph
+
+        g = DecayingTransactionGraph(decay=0.5)
+        g.add_transaction(("a", "b"))
+        journal = g.start_mutation_journal()
+        g.advance_window()
+        assert journal.poisoned
+        # Detached: later mutations no longer accrue to the dead journal.
+        g.add_transaction(("a", "b"))
+        assert journal.edges == []
+
+    def test_new_journal_poisons_the_previous_one(self):
+        g = TransactionGraph()
+        first = g.start_mutation_journal()
+        second = g.start_mutation_journal()
+        assert first.poisoned and not second.poisoned
+        g.add_transaction(("x", "y"))
+        assert first.edges == [] and len(second.edges) == 1
+
+    def test_stop_detaches_only_the_active_journal(self):
+        g = TransactionGraph()
+        journal = g.start_mutation_journal()
+        g.stop_mutation_journal(journal)
+        assert journal.poisoned
+        g.add_transaction(("x", "y"))
+        assert journal.edges == []
