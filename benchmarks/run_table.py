@@ -1,8 +1,9 @@
 """Emit one perf run-table row from the committed/regenerated BENCH files.
 
 ROADMAP's "track absolute seconds across PRs" item: every CI perf run
-appends one row — commit, scale, absolute grid/loop/refresh seconds and
-the four gated speedups — to a tab-separated table uploaded as a build
+appends one row — commit, scale, absolute grid/loop/refresh seconds,
+the four gated speedups and the resilience retention/recovery pair — to
+a tab-separated table uploaded as a build
 artifact, so the trajectory across PRs is a download away instead of an
 archaeology dig through old logs.
 
@@ -53,6 +54,8 @@ COLUMNS = (
     "adaptive_loop_base_s",
     "adaptive_loop_ws_s",
     "adaptive_loop_speedup",
+    "resilience_tps_retention",
+    "resilience_recovery_blocks",
 )
 
 #: (bench script, BENCH json stem) pairs behind the row columns — also
@@ -62,6 +65,7 @@ BENCHES = (
     ("bench_delta_freeze.py", "BENCH_delta"),
     ("bench_louvain_warm.py", "BENCH_louvain"),
     ("bench_adaptive.py", "BENCH_adaptive"),
+    ("bench_resilience.py", "BENCH_resilience"),
 )
 
 
@@ -85,6 +89,7 @@ def build_row(bench_dir: Path, commit: str, suffix: str = "") -> dict:
     delta = _load(bench_dir, f"BENCH_delta{suffix}.json")
     louvain = _load(bench_dir, f"BENCH_louvain{suffix}.json")
     adaptive = _load(bench_dir, f"BENCH_adaptive{suffix}.json")
+    resilience = _load(bench_dir, f"BENCH_resilience{suffix}.json")
     scale = engine.get(
         "scale", delta.get("scale", louvain.get("scale", adaptive.get("scale")))
     )
@@ -104,6 +109,8 @@ def build_row(bench_dir: Path, commit: str, suffix: str = "") -> dict:
         "adaptive_loop_base_s": adaptive.get("base_loop_seconds"),
         "adaptive_loop_ws_s": adaptive.get("workspace_loop_seconds"),
         "adaptive_loop_speedup": adaptive.get("speedup"),
+        "resilience_tps_retention": resilience.get("tps_retention"),
+        "resilience_recovery_blocks": resilience.get("recovery_blocks"),
     }
 
 

@@ -21,6 +21,11 @@ Built-in names
     METIS-style multilevel partitioning (static).
 ``shard_scheduler``
     The online Shard Scheduler of Krol et al. (AFT'21).
+``txallo_resilient``
+    The τ₁/τ₂ controller under a supervised wrapper
+    (:class:`repro.core.resilience.ResilientAllocator`): exception
+    isolation, block-clocked retry/backoff, circuit breaker with
+    degraded routing (online).
 
 Adding an allocator
 -------------------
@@ -73,6 +78,7 @@ from repro.core.controller import TxAlloController
 from repro.core.graph import Node, TransactionGraph
 from repro.core.gtxallo import g_txallo
 from repro.core.params import TxAlloParams
+from repro.core.resilience import ResilientAllocator
 from repro.errors import ParameterError
 
 
@@ -381,6 +387,33 @@ register(
     ),
     kind="online",
     description="online Shard Scheduler of Krol et al. (AFT'21)",
+)
+
+
+def _resilient_controller_factory(
+    params: TxAlloParams, seed_transactions=None
+) -> ResilientAllocator:
+    return ResilientAllocator(_controller_factory(params, seed_transactions))
+
+
+def _resilient_controller_online(
+    params: TxAlloParams,
+    seed_transactions=None,
+    seed_graph: Optional[TransactionGraph] = None,
+) -> ResilientAllocator:
+    return ResilientAllocator(
+        _controller_online(params, seed_transactions, seed_graph)
+    )
+
+
+register(
+    "txallo_resilient",
+    _resilient_controller_factory,
+    kind="online",
+    description="supervised TxAllo controller: exception isolation, "
+    "block-clocked backoff, circuit breaker with degraded routing "
+    "(repro.core.resilience)",
+    online_factory=_resilient_controller_online,
 )
 
 

@@ -9,6 +9,15 @@ from repro.chain.consensus import (
     quorum_size,
 )
 from repro.chain.crossshard import CommitOutcome, CrossShardCoordinator, estimate_eta
+from repro.chain.faults import (
+    AllocatorFault,
+    DeliveryFault,
+    FaultPlan,
+    FaultyAllocator,
+    MalformedDelivery,
+    ShardStall,
+    with_faults,
+)
 from repro.chain.ledger import Ledger
 from repro.chain.live import LiveReport, LiveShardedNetwork, TickStats
 from repro.chain.mempool import Mempool
@@ -31,9 +40,16 @@ from repro.chain.types import Address, Block, Transaction, address_from_int, is_
 __all__ = [
     "AccountMove",
     "Address",
+    "AllocatorFault",
     "DEFAULT_ACCOUNT_STATE_BYTES",
+    "DeliveryFault",
+    "FaultPlan",
+    "FaultyAllocator",
+    "MalformedDelivery",
     "MigrationPlan",
+    "ShardStall",
     "migration_plan",
+    "with_faults",
     "Block",
     "CommitOutcome",
     "ConsensusCost",

@@ -36,18 +36,32 @@ steering allocation, the same network sustains a higher committed TPS
 than with hash allocation — ``tests/test_live.py`` asserts exactly that,
 and :func:`repro.eval.experiments.live_compare` tables it for the whole
 method set.
+
+Failure semantics are injectable and reported, not assumed away: a
+:class:`~repro.chain.faults.FaultPlan` makes the allocator raise or
+stall shards at deterministic blocks, and the network *itself* stays
+honest about the consequences — malformed deliveries are dropped with a
+counter, every tick records whether routing was degraded, and
+:attr:`LiveReport.resilience_stats` carries the supervision counters
+when the allocator is a
+:class:`~repro.core.resilience.ResilientAllocator`.  An *unsupervised*
+allocator under the same plan raises out of :meth:`tick` — surviving
+faults is the supervisor's job, not something the network hides.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.chain.shard import ShardState
 from repro.chain.types import Transaction
 from repro.core.allocator import OnlineAllocator, ensure_online
 from repro.core.params import TxAlloParams
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> core)
+    from repro.chain.faults import FaultPlan
 
 
 @dataclasses.dataclass(frozen=True)
@@ -62,6 +76,13 @@ class TickStats:
     #: Allocation-update kind reported by the allocator this tick
     #: ("global" / "adaptive" / "migration" / ...), or None.
     allocation_update: Optional[str]
+    #: True when the allocator served this tick degraded (frozen
+    #: last-good mapping; see repro.core.resilience).
+    degraded: bool = False
+    #: Shards that processed nothing this tick (injected stall windows).
+    stalled_shards: int = 0
+    #: Malformed deliveries dropped at validation this tick.
+    dropped_malformed: int = 0
 
 
 @dataclasses.dataclass
@@ -77,6 +98,16 @@ class LiveReport:
     #: Controller-graph snapshot counters ({"full", "delta", "cached"});
     #: None for allocators that never freeze a graph.
     freeze_stats: Optional[Dict[str, int]] = None
+    #: Ticks served on the frozen last-good mapping.
+    degraded_ticks: int = 0
+    #: Times routing fell over to the frozen mapping (healthy -> degraded
+    #: transitions of a supervised allocator).
+    failovers: int = 0
+    #: Malformed deliveries dropped at validation over the whole run.
+    dropped_malformed: int = 0
+    #: Supervision counters of a ResilientAllocator, else None (mirrors
+    #: freeze_stats).
+    resilience_stats: Optional[Dict[str, int]] = None
 
     @property
     def committed_per_tick(self) -> float:
@@ -93,15 +124,29 @@ class LiveShardedNetwork:
     block of arriving transactions and is consulted for every routing
     decision) or a static ``dict`` account→shard (frozen, with the hash
     fallback routing accounts it misses).
+
+    ``fault_plan`` injects a :class:`~repro.chain.faults.FaultPlan`:
+    shard stalls and delivery faults are applied by the network itself;
+    allocator faults are installed via
+    :func:`~repro.chain.faults.with_faults` — *inside* a supervised
+    wrapper (which absorbs them) or around a bare allocator (whose
+    failures then propagate out of :meth:`tick`, by design).
     """
 
     def __init__(
         self,
         params: TxAlloParams,
         allocator: Union[OnlineAllocator, Mapping[str, int]],
+        *,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         self.params = params
         self.allocator: OnlineAllocator = ensure_online(allocator, params)
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            from repro.chain.faults import with_faults
+
+            self.allocator = with_faults(self.allocator, fault_plan)
         self.shards: List[ShardState] = [
             ShardState(i, params.lam) for i in range(params.k)
         ]
@@ -113,13 +158,21 @@ class LiveShardedNetwork:
         self._committed = 0
         self._arrived = 0
         self._cross_arrived = 0
+        self._degraded_ticks = 0
+        self._dropped_malformed = 0
         self.ticks: List[TickStats] = []
 
     # ------------------------------------------------------------------
     def _shard_of(self, account: str) -> int:
         return self.allocator.shard_of(account)
 
-    def _route(self, tx: Transaction) -> None:
+    def _route(self, tx: Transaction) -> int:
+        """Enqueue one arrival on its involved shards; returns ``m``.
+
+        The returned shard count is the routing decision actually taken,
+        so per-tick cross-shard stats come from here instead of a second
+        round of ``shard_of`` queries after the fact.
+        """
         involved = sorted({self._shard_of(a) for a in tx.accounts})
         m = len(involved)
         self._arrived += 1
@@ -137,25 +190,52 @@ class LiveShardedNetwork:
         self._tx_enqueued_at[unique.tx_id] = self.now
         for shard in involved:
             self.shards[shard].enqueue(unique, cost=cost, share=share, now=self.now)
+        return m
 
     # ------------------------------------------------------------------
     def tick(self, incoming: Iterable[Transaction]) -> TickStats:
         """One block interval: ingest arrivals, let every shard work."""
         incoming = list(incoming)
+        plan = self.fault_plan
+        if plan is not None:
+            incoming = incoming + plan.injected_deliveries(self.now, incoming)
+
+        # Delivery validation: malformed objects are dropped with a
+        # counter — they reach neither the allocator nor a shard queue.
+        valid: List[Transaction] = []
+        dropped_now = 0
+        for tx in incoming:
+            if isinstance(tx, Transaction) and tx.accounts:
+                valid.append(tx)
+            else:
+                dropped_now += 1
+        self._dropped_malformed += dropped_now
 
         # The allocator learns about the block *and* may update the
         # allocation; routing below uses the updated mapping (the paper
         # applies a fresh mapping from the next block onward).
         event = self.allocator.observe_block(
-            [tuple(tx.accounts) for tx in incoming]
+            [tuple(tx.accounts) for tx in valid]
         )
         update = event.kind if event is not None else None
 
-        for tx in incoming:
-            self._route(tx)
+        # Routing records the cross-shard decision as it is taken —
+        # one shard_of pass per account, and the stat cannot drift from
+        # the queues it describes.
+        cross_now = 0
+        for tx in valid:
+            if self._route(tx) > 1:
+                cross_now += 1
 
         committed_now = 0
+        stalled_now = 0
         for shard in self.shards:
+            if plan is not None and plan.stalled(shard.shard_id, self.now):
+                # The shard processes zero capacity this tick; its queue
+                # accrues and drains at normal capacity once the stall
+                # window ends.
+                stalled_now += 1
+                continue
             for done in shard.step(now=self.now):
                 tx_id = done.item.tx.tx_id
                 remaining = self._pending_completions.get(tx_id)
@@ -170,16 +250,19 @@ class LiveShardedNetwork:
                 else:
                     self._pending_completions[tx_id] = remaining - 1
 
+        degraded = bool(self.allocator.degraded)
+        if degraded:
+            self._degraded_ticks += 1
         stats = TickStats(
             tick=self.now,
-            arrived=len(incoming),
+            arrived=len(valid),
             committed=committed_now,
-            cross_shard_arrived=sum(
-                1 for tx in incoming
-                if len({self._shard_of(a) for a in tx.accounts}) > 1
-            ),
+            cross_shard_arrived=cross_now,
             backlog_workload=sum(s.backlog_workload for s in self.shards),
             allocation_update=update,
+            degraded=degraded,
+            stalled_shards=stalled_now,
+            dropped_malformed=dropped_now,
         )
         self.ticks.append(stats)
         self.now += 1
@@ -210,6 +293,7 @@ class LiveShardedNetwork:
         latencies = sorted(self._latencies)
         mean = sum(latencies) / len(latencies) if latencies else 0.0
         p99 = latencies[int(0.99 * (len(latencies) - 1))] if latencies else 0
+        resilience = self.allocator.resilience_stats
         return LiveReport(
             ticks=list(self.ticks),
             committed=self._committed,
@@ -220,4 +304,8 @@ class LiveShardedNetwork:
                 self._cross_arrived / self._arrived if self._arrived else 0.0
             ),
             freeze_stats=self.allocator.freeze_stats,
+            degraded_ticks=self._degraded_ticks,
+            failovers=resilience["failovers"] if resilience else 0,
+            dropped_malformed=self._dropped_malformed,
+            resilience_stats=dict(resilience) if resilience else None,
         )

@@ -60,4 +60,18 @@ class Mempool:
             drained.append((tx, cost))
             remaining -= cost
             self._pending_workload -= cost
+        if self._pending_workload < -1e-9:
+            # Queued costs are strictly positive, so with items queued the
+            # true pending workload is positive and float dust cannot push
+            # the accumulator past the tolerance — a genuinely negative
+            # value means the add/drain accounting itself broke.
+            raise SimulationError(
+                f"mempool workload accumulator went negative "
+                f"({self._pending_workload!r}) with {len(self._queue)} queued"
+            )
+        if not self._queue:
+            # Many add/drain cycles of non-dyadic costs (e.g. 0.1) leave
+            # ~1e-16 dust in the accumulator; an empty queue has exactly
+            # zero pending workload by definition.
+            self._pending_workload = 0.0
         return drained

@@ -104,6 +104,18 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: auto from the live block size)",
     )
     parser.add_argument(
+        "--faults", action="store_true",
+        help="live-compare only: inject the deterministic standard fault "
+             "plan (allocator-raise burst at the first tau2 refresh plus a "
+             "shard stall window), supervising every allocator with "
+             "ResilientAllocator",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="with --faults: derive a seeded FaultPlan instead of the "
+             "standard one",
+    )
+    parser.add_argument(
         "--backend", choices=["fast", "reference", "turbo"], default="fast",
         help="TxAllo engine: 'fast' (flat-array CSR sweep engine) and "
              "'reference' (dict-based executable spec) are "
@@ -137,6 +149,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 experiments.live_compare(
                     workload, k=args.k, eta=args.eta,
                     methods=methods, lam=args.lam,
+                    faults=args.faults, fault_seed=args.fault_seed,
                 ).render()
             )
         elif figure == "fig1":

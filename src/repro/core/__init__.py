@@ -62,6 +62,7 @@ from repro.core.persistence import (
     load_allocation,
     save_allocation,
 )
+from repro.core.resilience import ResilientAllocator
 from repro.core.workload_model import (
     RoleAwareModel,
     ShardRole,
@@ -85,6 +86,7 @@ __all__ = [
     "FunctionAllocator",
     "OnlineAllocator",
     "OnlineRunResult",
+    "ResilientAllocator",
     "StaticAllocator",
     "ensure_online",
     "hash_fallback_shard",

@@ -245,6 +245,27 @@ class OnlineAllocator(AllocatorBase):
         """Graph-snapshot counters for allocators that freeze a graph."""
         return None
 
+    @property
+    def degraded(self) -> bool:
+        """True while the allocator serves a frozen last-good mapping.
+
+        Part of the degradation-reporting surface of the protocol: the
+        live network stamps this onto every :class:`TickStats`.  Only
+        supervised wrappers (:class:`repro.core.resilience.ResilientAllocator`)
+        ever degrade; plain allocators are always healthy.
+        """
+        return False
+
+    @property
+    def resilience_stats(self) -> Optional[Dict[str, int]]:
+        """Supervision counters (failures/retries/trips/...), or ``None``.
+
+        ``None`` for unsupervised allocators, mirroring how
+        :attr:`freeze_stats` is ``None`` for allocators that never
+        freeze a graph.
+        """
+        return None
+
     def run_stream(
         self, transactions: Iterable[Sequence[Node]]
     ) -> OnlineRunResult:

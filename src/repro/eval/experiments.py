@@ -19,8 +19,10 @@ import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import allocators
+from repro.chain.faults import FaultPlan
 from repro.chain.live import LiveReport, LiveShardedNetwork
 from repro.core.allocator import OnlineAllocator
+from repro.core.resilience import ResilientAllocator
 from repro.core.controller import TxAlloController
 from repro.core.graph import TransactionGraph
 from repro.core.gtxallo import g_txallo
@@ -669,6 +671,8 @@ class LiveComparison:
     seed_blocks: int
     live_blocks: int
     reports: Dict[str, LiveReport]
+    #: The injected fault plan (every method saw the same one), or None.
+    fault_plan: Optional[FaultPlan] = None
 
     def render(self) -> str:
         title = (
@@ -676,34 +680,44 @@ class LiveComparison:
             f"lam={self.lam:g}/shard/tick, {self.seed_blocks} seed + "
             f"{self.live_blocks} live blocks =="
         )
+        if self.fault_plan is not None:
+            title += (
+                f"\n== faults injected: "
+                f"{len(self.fault_plan.allocator_faults)} allocator, "
+                f"{len(self.fault_plan.stalls)} stall(s), "
+                f"{len(self.fault_plan.delivery_faults)} delivery "
+                f"(seed={self.fault_plan.seed}) =="
+            )
+        faulted = self.fault_plan is not None
         rows = []
         for method, report in self.reports.items():
             updates = sum(1 for t in report.ticks if t.allocation_update)
-            rows.append(
-                (
-                    method_label(method),
-                    report.committed,
-                    len(report.ticks),
-                    report.committed_per_tick,
-                    report.cross_shard_ratio,
-                    report.mean_latency,
-                    report.p99_latency,
-                    updates,
-                )
-            )
-        table = format_table(
-            [
-                "method",
-                "committed",
-                "ticks",
-                "committed TPS",
-                "cross-shard",
-                "mean latency",
-                "p99 latency",
-                "alloc updates",
-            ],
-            rows,
-        )
+            row = [
+                method_label(method),
+                report.committed,
+                len(report.ticks),
+                report.committed_per_tick,
+                report.cross_shard_ratio,
+                report.mean_latency,
+                report.p99_latency,
+                updates,
+            ]
+            if faulted:
+                row.extend([report.degraded_ticks, report.failovers])
+            rows.append(tuple(row))
+        headers = [
+            "method",
+            "committed",
+            "ticks",
+            "committed TPS",
+            "cross-shard",
+            "mean latency",
+            "p99 latency",
+            "alloc updates",
+        ]
+        if faulted:
+            headers.extend(["degraded ticks", "failovers"])
+        table = format_table(headers, rows)
         return title + "\n\n" + table
 
 
@@ -717,6 +731,8 @@ def live_compare(
     capacity_factor: float = 1.5,
     tau1: Optional[int] = None,
     tau2: Optional[int] = None,
+    faults: bool = False,
+    fault_seed: Optional[int] = None,
 ) -> LiveComparison:
     """Run every method through :class:`LiveShardedNetwork`, same traffic.
 
@@ -728,6 +744,12 @@ def live_compare(
     times the mean live block size — enough for well-clustered routing,
     not for hash routing's η-priced cross traffic, which is exactly the
     regime where allocation quality shows up as committed TPS.
+
+    With ``faults=True`` every method runs under the same deterministic
+    :class:`~repro.chain.faults.FaultPlan` (the standard plan, or a
+    seeded one when ``fault_seed`` is given), with its allocator wrapped
+    in a :class:`~repro.core.resilience.ResilientAllocator` so injected
+    allocator failures degrade throughput instead of crashing the run.
     """
     seed_stream, live_stream = workload.blocks.split(seed_fraction)
     seed_sets = seed_stream.account_sets()
@@ -754,12 +776,21 @@ def live_compare(
     for accounts in seed_sets:
         seed_graph.add_transaction(accounts)
 
+    plan: Optional[FaultPlan] = None
+    if faults:
+        if fault_seed is not None:
+            plan = FaultPlan.seeded(fault_seed, ticks=len(live_blocks), k=k)
+        else:
+            plan = FaultPlan.standard(params.tau2)
+
     reports: Dict[str, LiveReport] = {}
     for method in methods:
         allocator = allocators.get_online(
             method, params, seed_transactions=seed_sets, seed_graph=seed_graph
         )
-        net = LiveShardedNetwork(params, allocator)
+        if plan is not None and not isinstance(allocator, ResilientAllocator):
+            allocator = ResilientAllocator(allocator)
+        net = LiveShardedNetwork(params, allocator, fault_plan=plan)
         reports[method] = net.run(live_blocks, drain=True)
     return LiveComparison(
         k=k,
@@ -768,4 +799,5 @@ def live_compare(
         seed_blocks=len(seed_stream),
         live_blocks=len(live_blocks),
         reports=reports,
+        fault_plan=plan,
     )

@@ -26,7 +26,15 @@ from repro.core.params import TxAlloParams
 from repro.data.synthetic import EthereumWorkloadGenerator, WorkloadConfig
 from repro.errors import AllocationError, ParameterError
 
-BUILTINS = ("metis", "prefix", "random", "shard_scheduler", "txallo", "txallo_online")
+BUILTINS = (
+    "metis",
+    "prefix",
+    "random",
+    "shard_scheduler",
+    "txallo",
+    "txallo_online",
+    "txallo_resilient",
+)
 
 
 @pytest.fixture(scope="module")

@@ -8,7 +8,11 @@ turbo warm-started τ₂ refresh against the cold fast-backend refresh
 ``benchmarks/BENCH_adaptive.json`` records the adaptive-workspace
 Fig. 9 block-loop against the snapshot-per-run fast path (standing
 gates: >= 1.3x end-to-end, byte-identical, workspace actually extends
-across windows).  These tests load whichever run table is on disk — in
+across windows); ``benchmarks/BENCH_resilience.json`` records the
+supervised TxAllo controller under the standard fault plan against the
+fault-free baseline (standing gates: committed TPS retention >= 0.7,
+circuit tripped and re-closed, no transaction lost).  These tests load
+whichever run table is on disk — in
 CI's perf job that is the file *regenerated on this very commit* — and
 fail the suite on a regression.  Each skips cleanly when its file is
 absent (fresh checkout without bench artifacts); regenerate with the
@@ -24,10 +28,12 @@ BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
 BENCH_PATH = BENCH_DIR / "BENCH_engine.json"
 LOUVAIN_PATH = BENCH_DIR / "BENCH_louvain.json"
 ADAPTIVE_PATH = BENCH_DIR / "BENCH_adaptive.json"
+RESILIENCE_PATH = BENCH_DIR / "BENCH_resilience.json"
 
 GRID_SPEEDUP_GATE = 3.0
 WARM_REFRESH_GATE = 2.0
 ADAPTIVE_LOOP_GATE = 1.3
+TPS_RETENTION_GATE = 0.7
 
 
 def _load_payload():
@@ -124,6 +130,56 @@ def test_adaptive_run_table_schema():
     ):
         assert key in payload, key
     assert payload["workspace_loop_seconds"] > 0.0
+
+
+def _load_resilience():
+    if not RESILIENCE_PATH.exists():
+        pytest.skip(
+            "benchmarks/BENCH_resilience.json absent; run "
+            "benchmarks/bench_resilience.py to regenerate"
+        )
+    return json.loads(RESILIENCE_PATH.read_text())
+
+
+def test_resilience_tps_retention_gate():
+    payload = _load_resilience()
+    assert payload["tps_retention"] >= TPS_RETENTION_GATE, (
+        f"committed TPS retention {payload['tps_retention']:.3f} under the "
+        f"standard fault plan fell below the {TPS_RETENTION_GATE} gate; rerun "
+        "benchmarks/bench_resilience.py and investigate the regression"
+    )
+
+
+def test_resilience_recovered():
+    payload = _load_resilience()
+    stats = payload["resilience_stats"]
+    assert stats["trips"] >= 1, "run table recorded no circuit-breaker trip"
+    assert stats["recoveries"] >= 1, "run table recorded no recovery"
+    assert payload["circuit_state"] == "closed", (
+        f"circuit ended the run {payload['circuit_state']!r}, not re-closed"
+    )
+    assert payload["faulted_committed"] == payload["baseline_committed"], (
+        "faulted run lost transactions relative to the fault-free baseline"
+    )
+
+
+def test_resilience_run_table_schema():
+    payload = _load_resilience()
+    for key in (
+        "scale",
+        "baseline_committed",
+        "baseline_tps",
+        "faulted_committed",
+        "faulted_tps",
+        "tps_retention",
+        "recovery_blocks",
+        "degraded_ticks",
+        "failovers",
+        "circuit_state",
+        "resilience_stats",
+    ):
+        assert key in payload, key
+    assert payload["baseline_tps"] > 0.0
 
 
 def test_louvain_run_table_schema():

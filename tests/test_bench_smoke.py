@@ -1,9 +1,10 @@
 """Fast smoke tests for the perf run-table plumbing.
 
 Runs ``benchmarks/bench_delta_freeze.py``,
-``benchmarks/bench_louvain_warm.py`` and ``benchmarks/bench_adaptive.py``
-end-to-end at a small scale and asserts the run tables regenerate and
-the incremental/warm/batched paths were actually exercised — so the
+``benchmarks/bench_louvain_warm.py``, ``benchmarks/bench_adaptive.py``
+and ``benchmarks/bench_resilience.py`` end-to-end at a small scale and
+asserts the run tables regenerate and the
+incremental/warm/batched/supervised paths were actually exercised — so the
 benchmarks (and the ``BENCH_*.json`` trajectories later PRs gate
 against) cannot silently rot.  The speedup gates themselves only apply
 at the benchmarks' own scale, not here.
@@ -17,6 +18,7 @@ BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
 BENCH_PATH = BENCH_DIR / "bench_delta_freeze.py"
 WARM_BENCH_PATH = BENCH_DIR / "bench_louvain_warm.py"
 ADAPTIVE_BENCH_PATH = BENCH_DIR / "bench_adaptive.py"
+RESILIENCE_BENCH_PATH = BENCH_DIR / "bench_resilience.py"
 
 
 def _load_module(path):
@@ -155,5 +157,47 @@ def test_committed_adaptive_run_table_is_current():
     committed = BENCH_DIR / "BENCH_adaptive.json"
     assert committed.exists(), "run benchmarks/bench_adaptive.py to regenerate"
     bench = _load_module(ADAPTIVE_BENCH_PATH)
+    payload = json.loads(committed.read_text())
+    assert bench.check_gates(payload) == []
+
+
+def test_bench_resilience_regenerates_and_recovers(tmp_path):
+    """bench_resilience end-to-end at a small scale: the run table must
+    regenerate, the circuit must trip and re-close, and no transaction
+    may be lost (run_bench asserts committed == arrived in both runs).
+    The TPS-retention gate itself holds at any scale: supervision cost
+    is a bounded number of degraded blocks, not a percentage."""
+    bench = _load_module(RESILIENCE_BENCH_PATH)
+    out_path = tmp_path / "BENCH_resilience.json"
+    payload = bench.run_bench(scale=0.1, out_path=out_path)
+
+    assert out_path.exists()
+    assert json.loads(out_path.read_text()) == payload
+
+    for key in (
+        "scale",
+        "baseline_committed",
+        "baseline_tps",
+        "faulted_committed",
+        "faulted_tps",
+        "tps_retention",
+        "recovery_blocks",
+        "circuit_state",
+        "resilience_stats",
+    ):
+        assert key in payload, key
+
+    assert payload["resilience_stats"]["trips"] >= 1
+    assert payload["resilience_stats"]["recoveries"] >= 1
+    assert payload["circuit_state"] == "closed"
+    assert payload["faulted_committed"] == payload["baseline_committed"]
+
+
+def test_committed_resilience_run_table_is_current():
+    """The checked-in BENCH_resilience.json must satisfy the standing
+    gates."""
+    committed = BENCH_DIR / "BENCH_resilience.json"
+    assert committed.exists(), "run benchmarks/bench_resilience.py to regenerate"
+    bench = _load_module(RESILIENCE_BENCH_PATH)
     payload = json.loads(committed.read_text())
     assert bench.check_gates(payload) == []

@@ -144,3 +144,27 @@ class TestMempool:
         pool = Mempool()
         pool.add_all([self.tx(i) for i in range(4)])
         assert len(pool) == 4
+
+    def test_workload_accumulator_resets_exactly_on_empty(self):
+        """Regression: cost 0.1 is not binary-representable, so many
+        add/drain cycles used to leave the accumulator at a tiny nonzero
+        residue instead of exactly 0.0 — which then leaked into backlog
+        reports and capacity checks.  An empty queue must mean exactly
+        zero pending workload."""
+        pool = Mempool()
+        for cycle in range(500):
+            for i in range(7):
+                pool.add(self.tx(cycle * 7 + i), cost=0.1)
+            pool.drain(capacity=1000.0)
+            assert len(pool) == 0
+            assert pool.pending_workload == 0.0
+
+    def test_negative_workload_accumulator_raises(self):
+        """White-box: a negative accumulator means the bookkeeping lost
+        track of queued cost; drain must fail loudly, not report a
+        nonsense backlog forever."""
+        pool = Mempool()
+        pool.add(self.tx(0), cost=1.0)
+        pool._pending_workload = -1.0
+        with pytest.raises(SimulationError):
+            pool.drain(capacity=10.0)
