@@ -26,6 +26,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro import allocators
+from repro.core import backends
 from repro.errors import ParameterError
 from repro.eval import experiments
 
@@ -116,12 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
              "standard one",
     )
     parser.add_argument(
-        "--backend", choices=["fast", "reference", "turbo"], default="fast",
-        help="TxAllo engine: 'fast' (flat-array CSR sweep engine) and "
-             "'reference' (dict-based executable spec) are "
-             "byte-identical; 'turbo' adds warm-started Louvain and "
-             "work-skipping sweeps (deterministic, may diverge within "
-             "the documented objective tolerance; default fast)",
+        "--backend", choices=list(backends.names()), default="fast",
+        help="TxAllo engine backend, resolved through the strategy "
+             "registry (repro.core.backends): 'fast' (flat-array CSR "
+             "sweep engine) and 'reference' (dict-based executable "
+             "spec) are byte-identical; 'turbo' (warm-started Louvain, "
+             "work-skipping sweeps) and 'vector' (numpy batched "
+             "sweeps, falls back to fast when numpy is absent) are "
+             "deterministic and objective-gated within the registry "
+             "tolerance (default fast)",
     )
     return parser
 

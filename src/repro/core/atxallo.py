@@ -25,10 +25,10 @@ import dataclasses
 import time
 from typing import Iterable, List, Optional
 
+from repro.core import backends
 from repro.core.allocation import Allocation
 from repro.core.graph import Node
 from repro.core.objective import GainComputer
-from repro.errors import ParameterError
 
 #: Safety bound on optimisation sweeps (converges much earlier in practice).
 MAX_SWEEPS = 100
@@ -66,14 +66,16 @@ def a_txallo(
     blocks; unknown accounts among them are allocated first.  ``epsilon``
     defaults to the allocation's configured threshold.
 
-    ``backend`` overrides ``alloc.params.backend``: ``"fast"`` snapshots
-    the touched neighbourhoods into flat arrays once — reading the rows
-    from the graph's incrementally-maintained frozen CSR form — and
-    sweeps on those (:mod:`repro.core.engine`), ``"reference"`` rescans
-    the dict adjacency every sweep.  Both mutate ``alloc``
-    byte-identically.  ``"turbo"`` has no adaptive-specific behaviour —
-    A-TxAllo already touches only the block frontier — so it runs the
-    fast path unchanged.
+    ``backend`` overrides ``alloc.params.backend`` and names a tier in
+    the engine-backend registry (:mod:`repro.core.backends`):
+    ``"fast"`` snapshots the touched neighbourhoods into flat arrays
+    once — reading the rows from the graph's incrementally-maintained
+    frozen CSR form — and sweeps on those (:mod:`repro.core.engine`),
+    ``"reference"`` rescans the dict adjacency every sweep.  Both mutate
+    ``alloc`` byte-identically.  ``"turbo"`` and ``"vector"`` have no
+    adaptive-specific behaviour — A-TxAllo already touches only the
+    block frontier, where the flat engine is optimal — so both register
+    the fast kernel unchanged (and stay byte-identical here).
 
     ``workspace`` (an :class:`repro.core.engine.AdaptiveWorkspace`) makes
     consecutive flat-backend runs share one persistent neighbourhood
@@ -87,23 +89,31 @@ def a_txallo(
         epsilon = alloc.params.epsilon
     if backend is None:
         backend = alloc.params.backend
-    if backend in ("fast", "turbo"):
-        from repro.core.engine import a_txallo_flat
+    spec = backends.resolve_backend(backend)
+    new_nodes, swept, sweeps, moves, converged = spec.atxallo_kernel(
+        alloc, touched, epsilon, workspace
+    )
+    return ATxAlloResult(
+        allocation=alloc,
+        new_nodes=new_nodes,
+        swept_nodes=swept,
+        sweeps=sweeps,
+        moves=moves,
+        seconds=time.perf_counter() - t0,
+        converged=converged,
+    )
 
-        new_nodes, swept, sweeps, moves, converged = a_txallo_flat(
-            alloc, touched, epsilon, workspace=workspace
-        )
-        return ATxAlloResult(
-            allocation=alloc,
-            new_nodes=new_nodes,
-            swept_nodes=swept,
-            sweeps=sweeps,
-            moves=moves,
-            seconds=time.perf_counter() - t0,
-            converged=converged,
-        )
-    if backend != "reference":
-        raise ParameterError(f"unknown a_txallo backend {backend!r}")
+
+def _a_txallo_reference(
+    alloc: Allocation,
+    touched: Iterable[Node],
+    epsilon: float,
+) -> tuple:
+    """The dict-based Algorithm 2 (``backend="reference"``).
+
+    Returns the registry kernel tuple ``(new_nodes, swept_nodes, sweeps,
+    moves, converged)``; mutates ``alloc`` in place like every backend.
+    """
     k = alloc.params.k
     gains = GainComputer(alloc)
 
@@ -141,12 +151,4 @@ def a_txallo(
             converged = True
             break
 
-    return ATxAlloResult(
-        allocation=alloc,
-        new_nodes=len(new_nodes),
-        swept_nodes=len(hat_v),
-        sweeps=sweeps,
-        moves=moves,
-        seconds=time.perf_counter() - t0,
-        converged=converged,
-    )
+    return len(new_nodes), len(hat_v), sweeps, moves, converged

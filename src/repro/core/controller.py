@@ -34,6 +34,7 @@ import dataclasses
 import time
 from typing import Iterable, List, Optional, Sequence, Set
 
+from repro.core import backends
 from repro.core.allocation import Allocation
 from repro.core.allocator import OnlineAllocator, hash_fallback_shard
 from repro.core.atxallo import a_txallo
@@ -112,11 +113,12 @@ class TxAlloController(OnlineAllocator):
         self._warm_counts: dict = {"warm": 0, "cold": 0}
         # The adaptive workspace batches consecutive A-TxAllo runs over
         # one persistent neighbourhood view (byte-identical results; see
-        # repro.core.engine).  It only applies to the flat backends —
-        # the reference path scans the live dicts every sweep anyway.
+        # repro.core.engine).  The backend's registry spec declares
+        # whether its A-TxAllo kernel consumes one — the reference path
+        # scans the live dicts every sweep anyway.
         self._workspace: Optional[AdaptiveWorkspace] = (
             AdaptiveWorkspace()
-            if adaptive_workspace and params.backend != "reference"
+            if adaptive_workspace and backends.get_backend(params.backend).uses_workspace
             else None
         )
         if seed_transactions is not None:
@@ -204,11 +206,12 @@ class TxAlloController(OnlineAllocator):
     def _count_warm(self) -> None:
         """Record whether the global run's Louvain went warm or cold.
 
-        Only meaningful on the turbo backend; ``louvain_warm_hit`` is
+        Only meaningful on warm-Louvain backends (the registry spec's
+        ``warm_louvain`` flag — turbo today); ``louvain_warm_hit`` is
         stamped on the (cached, so free to re-fetch) frozen snapshot by
         :func:`repro.core.engine.louvain_flat_warm`.
         """
-        if self.params.backend != "turbo":
+        if not backends.get_backend(self.params.backend).warm_louvain:
             return
         hit = self.graph.freeze().louvain_warm_hit
         self._warm_counts["warm" if hit else "cold"] += 1

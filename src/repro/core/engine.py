@@ -13,6 +13,33 @@ compiled CSR kernel (:mod:`repro.core.csr`):
 3. :func:`g_txallo_flat` / :func:`a_txallo_flat` — Algorithm 1 / 2 sweeps
    consuming that state.
 
+Backend levels
+--------------
+Dispatch goes through the engine-backend registry
+(:mod:`repro.core.backends`); the built-in tiers and their contracts:
+
+===========  ==================  =========================================
+tier         parity contract     notes
+===========  ==================  =========================================
+reference    (anchor)            dict-based executable specification
+fast         byte_identical      this module; the default tier
+turbo        objective_gated     warm Louvain + work-skipping sweeps,
+                                 within ``WARM_OBJECTIVE_TOLERANCE``
+vector       objective_gated     numpy segment ops
+                                 (:mod:`repro.core.vector`), same
+                                 tolerance; optional ``repro[vector]``
+                                 extra, falls back to ``fast`` with one
+                                 warning when numpy is unavailable
+===========  ==================  =========================================
+
+``byte_identical`` tiers must reproduce the reference bit-for-bit (the
+contract below); ``objective_gated`` tiers may land on a different
+deterministic local optimum, gated on total capped throughput.  The
+A-TxAllo kernel of *every* flat tier (fast/turbo/vector) is
+:func:`a_txallo_flat` — adaptive sweeps touch O(|V̂|) nodes, where the
+flat engine is already optimal — so the adaptive path stays
+byte-identical across them.
+
 Parity contract
 ---------------
 The engine is an *optimisation*, not a reinterpretation: for any input it
@@ -111,6 +138,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.allocation import Allocation
 from repro.core.atxallo import MAX_SWEEPS as _ADAPTIVE_MAX_SWEEPS
+from repro.core.backends import OBJECTIVE_TOLERANCE as _OBJECTIVE_TOLERANCE
 from repro.core.csr import CSRGraph
 from repro.core.csr import WARM_SEED_STALE_FRACTION as _WARM_SEED_STALE_FRACTION
 from repro.core.graph import Node, TransactionGraph
@@ -123,12 +151,14 @@ from repro.errors import AllocationError, GraphError
 # reference modules (which import this engine only lazily, so there is
 # no cycle) — the backends cannot drift apart on convergence behaviour.
 
-#: Relative tolerance of the turbo quality gate: a turbo allocation's
-#: total capped throughput must satisfy
-#: ``turbo >= (1 - WARM_OBJECTIVE_TOLERANCE) * fast`` on the same graph
-#: and parameters.  Pinned here so tests, benchmarks and CI gate against
-#: one number.
-WARM_OBJECTIVE_TOLERANCE = 0.02
+#: Relative tolerance of the objective-gated tiers (turbo, vector): the
+#: tier's total capped throughput must satisfy
+#: ``tier >= (1 - WARM_OBJECTIVE_TOLERANCE) * fast`` on the same graph
+#: and parameters.  The canonical number lives on the backend registry
+#: (:data:`repro.core.backends.OBJECTIVE_TOLERANCE`, stamped into each
+#: objective-gated ``BackendSpec.tolerance``); this historical alias is
+#: what tests, benchmarks and CI gate against.
+WARM_OBJECTIVE_TOLERANCE = _OBJECTIVE_TOLERANCE
 
 #: Warm-start falls back to a cold Louvain run when the accumulated
 #: frontier (plus nodes added since the seed partition) exceeds this

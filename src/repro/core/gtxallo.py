@@ -30,12 +30,12 @@ import dataclasses
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro.core import backends
 from repro.core.allocation import Allocation
 from repro.core.graph import Node, TransactionGraph
 from repro.core.louvain import louvain_partition
 from repro.core.objective import GainComputer
 from repro.core.params import TxAlloParams
-from repro.errors import ParameterError
 
 #: Safety bound on optimisation sweeps; the paper's ε criterion converges
 #: far earlier on every workload we have seen.
@@ -74,42 +74,49 @@ def g_txallo(
     communities.  ``node_order`` fixes the sweep order; the default is the
     sorted account order, mirroring the paper's hash-derived ordering.
 
-    ``backend`` overrides ``params.backend``: ``"fast"`` runs the
+    ``backend`` overrides ``params.backend`` and names a tier in the
+    engine-backend registry (:mod:`repro.core.backends`); unavailable
+    tiers resolve to their declared fallback.  ``"fast"`` runs the
     flat-array sweep engine over the frozen CSR graph
-    (:mod:`repro.core.engine`), ``"reference"`` runs the dict-based
-    implementation in this module.  Both produce byte-identical
-    allocations — same mapping, same caches, same sweep/move counts —
-    pinned by ``tests/test_engine_parity.py``.  ``"turbo"`` warm-starts
-    Louvain from the previous CSR snapshot's partition and work-skips
-    converged optimisation sweeps; its allocation may differ from the
-    other backends but must stay within
-    :data:`repro.core.engine.WARM_OBJECTIVE_TOLERANCE` of their
+    (:mod:`repro.core.engine`), ``"reference"`` the dict-based
+    implementation in this module — byte-identical allocations, caches
+    and sweep/move counts, pinned by ``tests/test_engine_parity.py``.
+    ``"turbo"`` (warm-started Louvain + work-skipping sweeps) and
+    ``"vector"`` (numpy batched sweeps, ``node_order`` ignored — the
+    synchronous sweeps have no visit order) may land on a different
+    local optimum; both are gated within
+    :data:`repro.core.engine.WARM_OBJECTIVE_TOLERANCE` of the fast
     objective (see the engine module docstring for the full contract).
     """
     if backend is None:
         backend = params.backend
-    if backend in ("fast", "turbo"):
-        from repro.core.engine import g_txallo_flat
+    spec = backends.resolve_backend(backend)
+    alloc, num_louvain, num_small, sweeps, moves, t_init, t_opt = spec.gtxallo_kernel(
+        graph, params, initial_partition, node_order
+    )
+    return GTxAlloResult(
+        allocation=alloc,
+        louvain_communities=num_louvain,
+        small_nodes_absorbed=num_small,
+        sweeps=sweeps,
+        moves=moves,
+        init_seconds=t_init,
+        optimise_seconds=t_opt,
+    )
 
-        alloc, num_louvain, num_small, sweeps, moves, t_init, t_opt = g_txallo_flat(
-            graph,
-            params,
-            initial_partition=initial_partition,
-            node_order=node_order,
-            warm=backend == "turbo",
-        )
-        return GTxAlloResult(
-            allocation=alloc,
-            louvain_communities=num_louvain,
-            small_nodes_absorbed=num_small,
-            sweeps=sweeps,
-            moves=moves,
-            init_seconds=t_init,
-            optimise_seconds=t_opt,
-        )
 
-    if backend != "reference":
-        raise ParameterError(f"unknown g_txallo backend {backend!r}")
+def _g_txallo_reference(
+    graph: TransactionGraph,
+    params: TxAlloParams,
+    initial_partition: Optional[Dict[Node, int]] = None,
+    node_order: Optional[Sequence[Node]] = None,
+) -> tuple:
+    """The dict-based Algorithm 1 (``backend="reference"``).
+
+    Returns the registry kernel tuple ``(allocation,
+    louvain_communities, small_nodes_absorbed, sweeps, moves,
+    init_seconds, optimise_seconds)``.
+    """
     t0 = time.perf_counter()
     if initial_partition is None:
         partition = louvain_partition(graph, backend="reference")
@@ -123,15 +130,7 @@ def g_txallo(
     t2 = time.perf_counter()
 
     num_louvain = 1 + max(partition.values(), default=-1)
-    return GTxAlloResult(
-        allocation=alloc,
-        louvain_communities=num_louvain,
-        small_nodes_absorbed=num_small,
-        sweeps=sweeps,
-        moves=moves,
-        init_seconds=t1 - t0,
-        optimise_seconds=t2 - t1,
-    )
+    return alloc, num_louvain, num_small, sweeps, moves, t1 - t0, t2 - t1
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.core import backends
 from repro.core.graph import Node, TransactionGraph
 
 #: Moves whose modularity gain is below this are treated as no-ops.
@@ -43,30 +44,29 @@ def louvain_partition(
     ``resolution`` is the standard resolution parameter (1.0 reproduces
     plain modularity); ``max_levels`` bounds the aggregation recursion.
 
-    ``backend="fast"`` (the default) runs the flat-array implementation
-    over the frozen CSR graph (:mod:`repro.core.engine`);
-    ``backend="reference"`` runs the dict-based implementation below.
-    The two are bit-identical — ``tests/test_engine_parity.py`` pins it.
-
-    ``backend="turbo"`` warm-starts level-0 local moving from the
-    previous snapshot's partition when the frozen CSR form was extended
-    incrementally (:func:`repro.core.engine.louvain_flat_warm`).  It may
-    return a *different* (still deterministic) partition than the other
-    two backends — the allocation built on top of it is gated on the
-    TxAllo objective instead of partition equality; with no warm seed it
-    degrades to the fast backend's cold partition.
+    ``backend`` names a tier in the engine-backend registry
+    (:mod:`repro.core.backends`); unavailable tiers resolve to their
+    declared fallback.  ``"fast"`` (the default) runs the flat-array
+    implementation over the frozen CSR graph (:mod:`repro.core.engine`)
+    and is bit-identical to ``"reference"``, the dict-based
+    implementation below (``tests/test_engine_parity.py`` pins it).
+    ``"turbo"`` warm-starts level-0 local moving from the previous
+    snapshot's partition (:func:`repro.core.engine.louvain_flat_warm`)
+    and ``"vector"`` runs synchronous numpy rounds
+    (:mod:`repro.core.vector`); both may return a *different* (still
+    deterministic) partition — the allocation built on top is gated on
+    the TxAllo objective instead of partition equality.
     """
-    if backend in ("fast", "turbo"):
-        from repro.core.engine import louvain_fast
+    spec = backends.resolve_backend(backend)
+    return spec.louvain_kernel(graph, max_levels, resolution)
 
-        return louvain_fast(
-            graph,
-            max_levels=max_levels,
-            resolution=resolution,
-            warm=backend == "turbo",
-        )
-    if backend != "reference":
-        raise ValueError(f"unknown louvain backend {backend!r}")
+
+def _louvain_reference_kernel(
+    graph: TransactionGraph,
+    max_levels: int = 32,
+    resolution: float = 1.0,
+) -> Dict[Node, int]:
+    """The dict-based executable specification (``backend="reference"``)."""
     nodes = graph.nodes_sorted()
     if not nodes:
         return {}

@@ -15,17 +15,19 @@ The paper exposes six hyperparameters:
 
 One implementation knob rides along:
 
-* ``backend`` — ``"fast"`` (default) runs the allocators on the flat-array
-  sweep engine over the frozen CSR graph (:mod:`repro.core.engine`);
-  ``"reference"`` runs the dict-based executable specification.  The two
-  produce byte-identical allocations (pinned by the engine parity tests),
-  so the switch only trades speed for readability/debuggability.
-  ``"turbo"`` additionally warm-starts Louvain from the previous
-  snapshot's partition and work-skips converged optimisation sweeps; it
-  may produce a *different* (still deterministic) allocation, whose
-  TxAllo objective is gated within
-  :data:`repro.core.engine.WARM_OBJECTIVE_TOLERANCE` of the fast/reference
-  result — see :mod:`repro.core.engine` for the exact contract.
+* ``backend`` — any tier registered in the engine-backend registry
+  (:mod:`repro.core.backends`).  ``"fast"`` (default) runs the
+  allocators on the flat-array sweep engine over the frozen CSR graph
+  (:mod:`repro.core.engine`); ``"reference"`` runs the dict-based
+  executable specification — the two produce byte-identical allocations
+  (pinned by the engine parity tests), so the switch only trades speed
+  for readability/debuggability.  ``"turbo"`` (warm-started Louvain +
+  work-skipping sweeps) and ``"vector"`` (numpy segment-op kernels,
+  falls back to ``"fast"`` when numpy is not installed) may produce a
+  *different* (still deterministic) allocation, whose TxAllo objective
+  is gated within :data:`repro.core.engine.WARM_OBJECTIVE_TOLERANCE`
+  of the fast/reference result — see :mod:`repro.core.engine` for the
+  exact contract.
 """
 
 from __future__ import annotations
@@ -33,15 +35,23 @@ from __future__ import annotations
 import dataclasses
 import math
 
+from repro.core import backends as _backends
 from repro.errors import ParameterError
 
 #: Relative convergence threshold used by the paper: ``ε = 1e-5 * |T|``.
 EPSILON_RATIO = 1e-5
 
-#: Valid allocation-engine backends.  "fast" and "reference" are
-#: byte-identical; "turbo" may diverge (objective-gated, documented in
-#: repro.core.engine).
-BACKENDS = ("fast", "reference", "turbo")
+
+def __getattr__(name: str):
+    # BACKENDS is derived from the engine-backend registry so a
+    # register_backend() call (a fourth tier, a test dummy) is
+    # immediately a valid ``TxAlloParams.backend`` value.  Computed on
+    # attribute access rather than frozen at import time; note that
+    # ``from repro.core.params import BACKENDS`` still snapshots —
+    # prefer ``repro.core.backends.names()`` in new code.
+    if name == "BACKENDS":
+        return _backends.names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -83,10 +93,11 @@ class TxAlloParams:
                 f"adaptive period tau1 ({self.tau1}) must not exceed "
                 f"global period tau2 ({self.tau2})"
             )
-        if self.backend not in BACKENDS:
-            raise ParameterError(
-                f"backend must be one of {BACKENDS}, got {self.backend!r}"
-            )
+        # Registry lookup raises the canonical "unknown backend ...,
+        # available: [...]" ParameterError; availability is *not*
+        # checked here — a params object naming an optional tier stays
+        # valid, and dispatch resolves the fallback.
+        _backends.get_backend(self.backend)
 
     @classmethod
     def with_capacity_for(

@@ -1,0 +1,1110 @@
+"""numpy-vectorized allocation kernels — the ``backend="vector"`` tier.
+
+The pure-Python flat engine (:mod:`repro.core.engine`) wins by constant
+factors: it replaces dict scans with list indexing but still executes
+O(E) interpreter bytecodes per sweep, so its advantage over the
+reference decays as the graph grows (the scale-2 regression in
+``benchmarks/BENCH_engine.scale2.json`` motivated this module).  This
+tier replaces the per-node loops with whole-graph numpy segment
+operations over the frozen CSR arrays:
+
+* the CSR ``indptr``/``indices``/``weights``/``loop``/``ext`` stdlib
+  arrays are exposed zero-copy as ndarrays (``np.frombuffer``) and
+  expanded once per snapshot into a symmetric loop-free edge list
+  ``(src, dst, w)`` cached on :attr:`repro.core.csr.CSRGraph.vector_cache`;
+* Louvain neighbour scans become sort/``reduceat`` segment sums with a
+  per-node ``lexsort`` argmax (synchronous rounds, see below);
+* per-community intra/cut vectors — and hence ``sigma``/``lam_hat`` —
+  are ``np.bincount`` segment sums;
+* G-TxAllo optimisation sweeps compute the full ``(node, community)``
+  weight matrix with one ``bincount`` and evaluate every leave/join
+  gain (Eqs. 6-8) as array expressions, applying the best moves in an
+  objective-checked batch.
+
+Contract
+--------
+**Objective-gated, like turbo** (:data:`repro.core.backends.OBJECTIVE_TOLERANCE`):
+float summation order differs from the reference by construction, and
+the batched (Jacobi-style) sweeps visit no node order at all, so the
+tier may land on a different — still fully deterministic — local
+optimum.  The registry gates its total capped throughput within the
+shared tolerance of the cold fast result; ``benchmarks/
+bench_engine_speedup.py`` measures and gates the ratio, and
+``tests/test_backends.py`` pins it property-style.  The A-TxAllo kernel
+is *not* in this module: adaptive sweeps touch O(|V̂|) nodes, where the
+flat engine is already optimal, so the registry wires the vector tier's
+adaptive path to :func:`repro.core.engine.a_txallo_flat` (byte-identical,
+AdaptiveWorkspace batching included).
+
+Batched sweeps
+--------------
+The reference optimisation phase is Gauss-Seidel: each move updates the
+caches before the next node is examined.  A faithful vectorisation of
+that is impossible without serialising, so the sweep here is Jacobi
+with a safety valve: score every node against the *pre-sweep* caches,
+take the positive-gain movers in descending-gain order, apply them as
+one batch, then recompute ``sigma``/``lam_hat`` exactly and check the
+realised objective.  If the optimistic batch regressed (moves that
+individually help can overload a destination together), the batch is
+halved — the single best move is always exact, so progress is
+guaranteed — and the sweep loop stops when the realised per-sweep gain
+falls below ``epsilon`` exactly like the reference's criterion.
+
+``node_order`` has no meaning for a batched sweep and is ignored;
+``initial_partition`` is honoured (the ablation harness uses it).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.csr import CSRGraph
+from repro.core.graph import Node, TransactionGraph
+from repro.core.gtxallo import MAX_SWEEPS as _GLOBAL_MAX_SWEEPS
+from repro.core.louvain import _MIN_GAIN
+from repro.core.params import TxAlloParams
+
+#: Hard cap on synchronous local-moving rounds per Louvain level; real
+#: workloads converge in well under 30 (the restricted/unrestricted
+#: alternation plus the period-2 check below terminate the oscillations
+#: a synchronous update is prone to).
+_LOUVAIN_MAX_ROUNDS = 128
+
+#: Below this many nodes :func:`g_txallo_vector` delegates wholesale to
+#: the byte-identical flat engine: the numpy batch machinery only pays
+#: for itself once the per-sweep work amortises its fixed call
+#: overheads, and under the crossover the flat engine is as fast while
+#: its sequential (Gauss-Seidel) sweeps squeeze out slightly better
+#: local optima on the tight small-graph cells.  Tests monkeypatch this
+#: to 0 to force the vector path on toy graphs.
+MIN_VECTOR_NODES = 10_000
+
+
+# ======================================================================
+# CSR -> ndarray lowering (cached per snapshot)
+# ======================================================================
+def _edge_views(csr: CSRGraph) -> dict:
+    """Zero-copy ndarray views of ``csr`` plus the symmetric edge list.
+
+    Returns a dict with ``loop``/``ext`` (per-node, zero-copy) and the
+    loop-free symmetric half-edge arrays ``src``/``dst``/``w`` (each
+    undirected edge appears in both directions, mirroring the CSR rows)
+    plus ``once`` (the ``src < dst`` mask selecting each undirected pair
+    exactly once).  Cached on ``csr.vector_cache`` — snapshots are
+    immutable, so the lowering happens once per freeze.
+    """
+    views = csr.vector_cache.get("edges")
+    if views is None:
+        n = csr.num_nodes
+        idx_dtype = np.dtype(f"i{csr.indptr.itemsize}")
+        if n:
+            indptr = np.frombuffer(csr.indptr, dtype=idx_dtype).astype(
+                np.int64, copy=False
+            )
+            loop = np.frombuffer(csr.loop, dtype=np.float64)
+            ext = np.frombuffer(csr.ext, dtype=np.float64)
+        else:
+            indptr = np.zeros(1, np.int64)
+            loop = np.empty(0, np.float64)
+            ext = np.empty(0, np.float64)
+        if len(csr.indices):
+            indices = np.frombuffer(csr.indices, dtype=idx_dtype).astype(
+                np.int64, copy=False
+            )
+            weights = np.frombuffer(csr.weights, dtype=np.float64)
+        else:
+            indices = np.empty(0, np.int64)
+            weights = np.empty(0, np.float64)
+        src_all = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        nonloop = indices != src_all
+        src = src_all[nonloop]
+        dst = indices[nonloop]
+        w = weights[nonloop]
+        views = {
+            "loop": loop,
+            "ext": ext,
+            "src": src,
+            "dst": dst,
+            "w": w,
+            "once": src < dst,
+        }
+        csr.vector_cache["edges"] = views
+    return views
+
+
+def _capped(sigma: np.ndarray, lam_hat: np.ndarray, lam: float) -> np.ndarray:
+    """Vectorised Eq. (3): ``Λ = Λ̂`` below capacity, ``λ/σ · Λ̂`` above.
+
+    ``min(1, λ/σ)`` collapses the capped/uncapped branch into three array
+    passes: ``λ/σ ≥ 1`` exactly when ``σ ≤ λ``, and ``σ = 0`` divides to
+    ``+inf`` which the minimum also clamps to the uncapped scale of 1.
+    """
+    with np.errstate(divide="ignore"):
+        return lam_hat * np.minimum(1.0, lam / sigma)
+
+
+def _comm_caches(
+    comm: np.ndarray,
+    k: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    w: np.ndarray,
+    loop: np.ndarray,
+    once: np.ndarray,
+    eta: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact ``(sigma, lam_hat)`` of a complete partition, as segment sums.
+
+    ``sigma_i = intra_i + eta * cut_i`` and ``lam_hat_i = intra_i +
+    cut_i / 2`` where ``intra`` counts loops plus each internal edge
+    once and ``cut`` each boundary edge at both of its communities —
+    the same quantities ``Allocation._recompute_caches`` accumulates.
+    """
+    intra = np.bincount(comm, weights=loop, minlength=k)
+    cu = comm[src]
+    same = cu == comm[dst]
+    im = once & same
+    if im.any():
+        intra = intra + np.bincount(cu[im], weights=w[im], minlength=k)
+    cross = ~same
+    if cross.any():
+        cut = np.bincount(cu[cross], weights=w[cross], minlength=k)
+    else:
+        cut = np.zeros(k)
+    return intra + eta * cut, intra + 0.5 * cut
+
+
+def _weight_matrix(views: dict, comm: np.ndarray, n: int, k: int) -> np.ndarray:
+    """Dense ``(n, k)`` node-to-community weights via one bincount.
+
+    The ``src * k`` key vector is loop-invariant for a given ``k``, so it
+    is memoised on the views dict — the sweeps rebuild ``W`` every
+    round and the O(E) multiply would otherwise dominate the keying.
+    """
+    src, dst, w = views["src"], views["dst"], views["w"]
+    if not src.size:
+        return np.zeros((n, k))
+    srck = views.get("srck")
+    if srck is None or srck[0] != k:
+        srck = (k, src * k)
+        views["srck"] = srck
+    return np.bincount(srck[1] + comm[dst], weights=w, minlength=n * k).reshape(n, k)
+
+
+# ======================================================================
+# Louvain (synchronous rounds)
+# ======================================================================
+def _one_level_vector(
+    n: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    w: np.ndarray,
+    k_deg: np.ndarray,
+    m: float,
+    resolution: float,
+) -> Tuple[np.ndarray, bool]:
+    """One synchronous local-moving phase; returns ``(community, any_move)``.
+
+    Every node evaluates the modularity gain toward each neighbouring
+    community against the *round-start* state, and the improving nodes
+    move as a batch.  Simultaneous moves that are each positive alone
+    can jointly wreck modularity (on a coarse graph "everyone joins the
+    hub at once" collapses the partition — observed, not hypothetical),
+    and synchronous updates also oscillate where sequential ones
+    converge (two singletons happily swapping labels forever).  One
+    guard handles both, the same safety valve the G-TxAllo sweeps use:
+    each round's batch is applied best-gain-first and *halved* until the
+    realised modularity score actually improves.  The single best move
+    is scored against exact round-start state, so it always improves —
+    the score is strictly increasing, which rules out every cycle, and
+    the phase stops at a genuine local optimum (no single move helps).
+    Deterministic throughout — ties break toward the smallest community
+    label exactly like the reference.
+    """
+    community = np.arange(n, dtype=np.int64)
+    if m <= 0.0 or src.size == 0:
+        return community, False
+    comm_tot = k_deg.copy()
+    norm = resolution * k_deg / (2.0 * m)
+    inv2m = resolution / (2.0 * m)
+
+    def score(comm: np.ndarray) -> float:
+        # Affine image of modularity (2m·Q minus a constant): internal
+        # half-edge weight minus the degree-penalty quadratic.  Single
+        # moves change it by exactly twice their per-node gain, so the
+        # batch guard and the move rule agree on "improves".
+        same = comm[src] == comm[dst]
+        tot = np.bincount(comm, weights=k_deg, minlength=n)
+        return float(w[same].sum()) - inv2m * float((tot * tot).sum())
+
+    current = score(community)
+    any_move = False
+    for _rnd in range(_LOUVAIN_MAX_ROUNDS):
+        key = src * n + community[dst]
+        order = np.argsort(key, kind="stable")
+        ks = key[order]
+        ws = w[order]
+        starts = np.flatnonzero(np.concatenate(([True], ks[1:] != ks[:-1])))
+        w_ic = np.add.reduceat(ws, starts)
+        pk = ks[starts]
+        pi = pk // n
+        pc = pk % n
+        own = pc == community[pi]
+        w_own = np.zeros(n)
+        w_own[pi[own]] = w_ic[own]
+        # Gain of *staying*: weight to own community minus the usual
+        # degree penalty with the node itself removed.
+        base = w_own - (comm_tot[community] - k_deg) * norm
+        ci = pi[~own]
+        if ci.size == 0:
+            break
+        cc = pc[~own]
+        gain = w_ic[~own] - comm_tot[cc] * norm[ci]
+        # Per-node argmax with min-label ties: sort by (node, -gain,
+        # label) and keep the first row per node.
+        sel = np.lexsort((cc, -gain, ci))
+        ci_s = ci[sel]
+        first = np.concatenate(([True], ci_s[1:] != ci_s[:-1]))
+        rows = ci_s[first]
+        best_c = cc[sel][first]
+        best_w = w_ic[~own][sel][first]
+        improvement = gain[sel][first] - base[rows]
+        move = improvement > _MIN_GAIN
+        if not move.any():
+            break
+        mrows = rows[move]
+        mdest = best_c[move]
+        mgain = improvement[move]
+        mw = best_w[move]
+        order = np.lexsort((mrows, -mgain))
+        cand_r = mrows[order]
+        cand_c = mdest[order]
+        cand_g = mgain[order]
+        cand_w = mw[order]
+        # Sequential-within-community re-evaluation (best gain first,
+        # the order the batch lands in): earlier movers' degrees shift
+        # the totals their batch-mates are scored against, and only
+        # moves whose gain survives the shift stay in.  Kills the
+        # "everyone joins the hub at once" collapse without the cost of
+        # halving-loop rescoring; the top mover shifts nothing, so
+        # every round still progresses.
+        t_src = community[cand_r]
+        kd = k_deg[cand_r]
+        oq = np.lexsort((-cand_g, cand_c))
+        tot_c = comm_tot[cand_c[oq]] + _seg_excl_cumsum(cand_c[oq], kd[oq])
+        join_re = np.empty(cand_r.size)
+        join_re[oq] = cand_w[oq] - tot_c * norm[cand_r[oq]]
+        op = np.lexsort((-cand_g, t_src))
+        tot_p = comm_tot[t_src[op]] - _seg_excl_cumsum(t_src[op], kd[op])
+        base_re = np.empty(cand_r.size)
+        base_re[op] = w_own[cand_r[op]] - (tot_p - kd[op]) * norm[cand_r[op]]
+        keep = join_re - base_re > _MIN_GAIN
+        if not keep.any():
+            keep[0] = True
+        cand_r = cand_r[keep]
+        cand_c = cand_c[keep]
+        # Exact-score safety valve for the residual cross terms the
+        # per-community simulation cannot see (mover-mover edges).
+        take = int(cand_r.size)
+        while True:
+            trial = community.copy()
+            trial[cand_r[:take]] = cand_c[:take]
+            trial_score = score(trial)
+            if trial_score > current or take == 1:
+                break
+            take = max(1, take // 2)
+        if trial_score <= current:
+            break  # numerical guard: even the single best move stalled
+        community = trial
+        current = trial_score
+        any_move = True
+        comm_tot = np.bincount(community, weights=k_deg, minlength=n)
+    return community, any_move
+
+
+def _louvain_membership(
+    csr: CSRGraph, max_levels: int, resolution: float
+) -> np.ndarray:
+    """Vectorised Louvain membership per CSR id (memoised per snapshot).
+
+    Same phase structure as the reference — local moving, dense
+    relabel, aggregation, recurse — with every phase a segment op.
+    Labels are dense but *not* the reference's first-appearance order
+    (this tier is objective-gated, not partition-identical); the
+    partition is deterministic for a given snapshot.
+    """
+    key = ("louvain", max_levels, resolution)
+    cached = csr.vector_cache.get(key)
+    if cached is not None:
+        return cached
+
+    n = csr.num_nodes
+    views = _edge_views(csr)
+    membership = np.arange(n, dtype=np.int64)
+    m = float(csr.total_weight)
+    if n == 0 or m <= 0.0:
+        csr.vector_cache[key] = membership
+        return membership
+
+    src, dst, w = views["src"], views["dst"], views["w"]
+    loop = views["loop"]
+    k_deg = views["ext"] + 2.0 * loop
+    level_n = n
+    for _level in range(max_levels):
+        community, improved = _one_level_vector(
+            level_n, src, dst, w, k_deg, m, resolution
+        )
+        uniq, community = np.unique(community, return_inverse=True)
+        membership = community[membership]
+        nc = int(uniq.size)
+        if not improved or nc == level_n:
+            break
+        # Aggregate communities into super-nodes.
+        cu = community[src]
+        cv = community[dst]
+        intra = cu == cv
+        loop = np.bincount(community, weights=loop, minlength=nc)
+        if intra.any():
+            # Symmetric half-edges count every internal pair twice.
+            loop = loop + 0.5 * np.bincount(
+                cu[intra], weights=w[intra], minlength=nc
+            )
+        keep = ~intra
+        pair_key = cu[keep] * nc + cv[keep]
+        order = np.argsort(pair_key, kind="stable")
+        pks = pair_key[order]
+        pws = w[keep][order]
+        if pks.size:
+            starts = np.flatnonzero(np.concatenate(([True], pks[1:] != pks[:-1])))
+            w = np.add.reduceat(pws, starts)
+            heads = pks[starts]
+            src = heads // nc
+            dst = heads % nc
+        else:
+            src = np.empty(0, np.int64)
+            dst = np.empty(0, np.int64)
+            w = np.empty(0, np.float64)
+        k_deg = np.bincount(src, weights=w, minlength=nc) + 2.0 * loop
+        level_n = nc
+
+    csr.vector_cache[key] = membership
+    return membership
+
+
+def louvain_vector(
+    graph: TransactionGraph,
+    max_levels: int = 32,
+    resolution: float = 1.0,
+) -> Dict[Node, int]:
+    """Vector-backend :func:`repro.core.louvain.louvain_partition`."""
+    csr = graph.freeze()
+    membership = _louvain_membership(csr, max_levels, resolution)
+    return {v: int(membership[i]) for i, v in enumerate(csr.nodes)}
+
+
+# ======================================================================
+# G-TxAllo
+# ======================================================================
+def _initialise_vector(
+    params: TxAlloParams,
+    comm: np.ndarray,
+    num_louvain: int,
+    views: dict,
+    n: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Phase 1 (Algorithm 1, lines 1-9) as segment ops.
+
+    Ranks communities by ``sigma``, keeps the top ``k`` as shards and
+    absorbs every small-community node into its best join-gain shard
+    (Eq. 6) among the shards it connects to — or all shards when it
+    connects to none.  Unlike the sequential reference the join gains
+    of all small nodes are scored against the *pre-absorption* caches
+    in one batch (objective-gated divergence); the returned caches are
+    an exact recomputation of the final partition.
+    """
+    k = params.k
+    eta = params.eta
+    lam = params.lam
+    src, dst, w = views["src"], views["dst"], views["w"]
+    loop, ext, once = views["loop"], views["ext"], views["once"]
+    num_small = 0
+    if num_louvain > k:
+        sigma, lam_hat = _comm_caches(comm, num_louvain, src, dst, w, loop, once, eta)
+        ranked = np.lexsort((np.arange(num_louvain), -sigma))
+        relabel = np.empty(num_louvain, np.int64)
+        relabel[ranked] = np.arange(num_louvain)
+        comm = relabel[comm]
+        sigma = sigma[ranked]
+        lam_hat = lam_hat[ranked]
+        num_small = int(np.count_nonzero(comm >= k))
+        # Absorb in waves, not one stale batch: score all unassigned
+        # nodes against *exact* current caches, then keep only the
+        # assignments that survive a sequential-within-destination
+        # re-evaluation (the same shifted-state simulation the sweeps
+        # use in _filter_movers) — a node whose chosen shard fills up
+        # under the earlier, higher-gain arrivals of the same wave is
+        # deferred and re-scored next wave against the updated caches.
+        # One big stale batch instead dumps thousands of nodes onto
+        # whichever shard *looked* underloaded, and the sweeps then
+        # polish their way into a far worse local optimum (observed:
+        # up to -18 percent objective at k=2).  The top-gain node is
+        # always kept (nothing shifts its destination), so every wave
+        # makes progress; the cap only guards degenerate inputs.
+        #
+        # Waves are also *anchor-then-follow*: a small community with
+        # no member placed yet may only place its top-gain member per
+        # wave.  Fellow members are scored with their community-mates
+        # invisible (unassigned nodes are not in W), so a flat batch
+        # splits tight communities across shards — at high eta a basin
+        # the single-move sweeps can never climb out of.  Once the
+        # anchor lands, its mates see it and follow next wave, exactly
+        # like the reference's sequential absorption.
+        orig_size = np.bincount(comm, minlength=num_louvain)
+        waves = 0
+        while (comm >= k).any():
+            waves += 1
+            nc = int(comm.max()) + 1  # unabsorbed labels still >= k
+            sig_full, lh_full = _comm_caches(comm, nc, src, dst, w, loop, once, eta)
+            sig_k = sig_full[:k][None, :]
+            lh_k = lh_full[:k][None, :]
+            un_mask = comm >= k
+            un = np.flatnonzero(un_mask)
+            to_big = un_mask[src] & (comm[dst] < k)
+            if to_big.any():
+                W = np.bincount(
+                    src[to_big] * k + comm[dst][to_big],
+                    weights=w[to_big],
+                    minlength=n * k,
+                ).reshape(n, k)[un]
+            else:
+                W = np.zeros((un.size, k))
+            w_self = loop[un][:, None]
+            w_ext = ext[un][:, None]
+            sig_new = sig_k + w_self + eta * (w_ext - W) + (1.0 - eta) * W
+            lh_new = lh_k + w_self + w_ext / 2.0
+            gain = _capped(sig_new, lh_new, lam) - _capped(sig_k, lh_k, lam)
+            connected = W > 0.0
+            masked = np.where(connected, gain, -np.inf)
+            # Nodes touching no shard consider all of them (Alg. 1 l. 4-6).
+            gain = np.where(connected.any(axis=1)[:, None], masked, gain)
+            best = np.argmax(gain, axis=1)  # first max = min label
+            rows = np.arange(un.size)
+            g1 = gain[rows, best]
+            if k > 1:
+                runner = gain.copy()
+                runner[rows, best] = -np.inf
+                g2 = runner.max(axis=1)
+            else:
+                g2 = np.full(un.size, -np.inf)
+            if waves > 64:
+                comm[un] = best  # degenerate input: settle the tail
+                break
+            labels = comm[un]
+            remaining = np.bincount(labels, minlength=nc)
+            anchored = remaining[labels] < orig_size[labels]
+            og = np.lexsort((un, -g1, labels))
+            lab_s = labels[og]
+            top = np.concatenate(([True], lab_s[1:] != lab_s[:-1]))
+            is_top = np.zeros(un.size, dtype=bool)
+            is_top[og[top]] = True
+            active = np.flatnonzero(anchored | is_top)
+            una = un[active]
+            g1a = g1[active]
+            g2a = g2[active]
+            besta = best[active]
+            # Shifted-state join gains, highest stale gain first.
+            order = np.lexsort((una, -g1a))
+            q = besta[order]
+            lv = loop[una][order]
+            ev = ext[una][order]
+            w_q = W[active][order, q]
+            d_sig = lv + eta * (ev - w_q) + (1.0 - eta) * w_q
+            d_lh = lv + ev / 2.0
+            re_eval = np.empty(una.size)
+            oq = np.lexsort((-g1a[order], q))
+            sq = sig_full[q[oq]] + _seg_excl_cumsum(q[oq], d_sig[oq])
+            lq = lh_full[q[oq]] + _seg_excl_cumsum(q[oq], d_lh[oq])
+            re_eval[oq] = _capped(sq + d_sig[oq], lq + d_lh[oq], lam) - _capped(
+                sq, lq, lam
+            )
+            # Keep a node while its shard, as loaded by the wave's
+            # earlier arrivals, still beats its runner-up shard.
+            keep = re_eval >= g2a[order]
+            if not keep.any():
+                keep[0] = True
+            sel = order[keep]
+            comm[una[sel]] = besta[sel]
+    sigma, lam_hat = _comm_caches(comm, k, src, dst, w, loop, once, eta)
+    return comm, sigma, lam_hat, num_small
+
+
+def _seg_excl_cumsum(gid: np.ndarray, vals: np.ndarray) -> np.ndarray:
+    """Exclusive cumulative sum of ``vals`` within runs of equal ``gid``.
+
+    ``gid`` must be sorted; element ``i`` gets the sum of the earlier
+    elements of its own run (0 at each run start).
+    """
+    cs = np.cumsum(vals) - vals
+    first = np.concatenate(([True], gid[1:] != gid[:-1]))
+    seg = np.cumsum(first) - 1
+    return cs - cs[first][seg]
+
+
+def _filter_movers(
+    cand: np.ndarray,
+    best_q: np.ndarray,
+    best_gain: np.ndarray,
+    comm: np.ndarray,
+    sigma: np.ndarray,
+    lam_hat: np.ndarray,
+    W: np.ndarray,
+    loop: np.ndarray,
+    ext: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    eta: float,
+    lam: float,
+) -> np.ndarray:
+    """Drop movers whose gain evaporates once their batch-mates land.
+
+    The sweep scores every node against the pre-sweep caches, so in a
+    capacity-tight regime thousands of movers independently pick the
+    same under-loaded shard and jointly overload it — each individually
+    positive, the batch barely (or not at all) an improvement, and the
+    sweep loop stalls an epsilon-exit away from a much better optimum.
+    This re-evaluates each candidate *as if applied sequentially within
+    its destination and its source* (descending gain, the order the
+    batch is applied in): an exclusive running sum of the earlier
+    movers' ``sigma``/``lam_hat`` deltas shifts the community state each
+    candidate is scored against, Eq. 8 is re-evaluated at the shifted
+    state, and only candidates whose join-plus-leave gain survives stay
+    in the batch.
+
+    Mover-mover edges get the same treatment: when two *connected*
+    nodes both want to move, only the higher-gain endpoint moves this
+    sweep — the other is re-scored next sweep with its neighbour's new
+    home known.  The kept batch is therefore edge-disjoint, which makes
+    every ``W`` row in it exact under the batch, and the shifted-state
+    gains exactly the gains a sequential application in the same order
+    would see (up to cross-coupling between one mover's source and
+    another's destination).  The exact objective check in the caller
+    remains the safety net.  Falls back to the single best mover (whose
+    gain is exact) when it would drop everything.
+    """
+    rank = np.full(comm.size, -1, dtype=np.int64)
+    rank[cand] = np.arange(cand.size)
+    rs = rank[src]
+    rd = rank[dst]
+    both = (rs >= 0) & (rd >= 0)
+    if both.any():
+        losers = np.where(rs[both] > rd[both], src[both], dst[both])
+        dropped = np.zeros(comm.size, dtype=bool)
+        dropped[losers] = True
+        cand = cand[~dropped[cand]]
+
+    g = best_gain[cand]
+    q = best_q[cand]
+    p = comm[cand]
+    lv = loop[cand]
+    ev = ext[cand]
+    w_q = W[cand, q]
+    w_p = W[cand, p]
+    d_sig_q = lv + eta * (ev - w_q) + (1.0 - eta) * w_q
+    d_lh_q = lv + ev / 2.0
+    d_sig_p = -lv - eta * (ev - w_p) + (eta - 1.0) * w_p
+    d_lh_p = -lv - ev / 2.0
+
+    join_re = np.empty(cand.size)
+    oq = np.lexsort((-g, q))
+    sq = sigma[q[oq]] + _seg_excl_cumsum(q[oq], d_sig_q[oq])
+    lq = lam_hat[q[oq]] + _seg_excl_cumsum(q[oq], d_lh_q[oq])
+    join_re[oq] = _capped(sq + d_sig_q[oq], lq + d_lh_q[oq], lam) - _capped(
+        sq, lq, lam
+    )
+
+    leave_re = np.empty(cand.size)
+    op = np.lexsort((-g, p))
+    sp = sigma[p[op]] + _seg_excl_cumsum(p[op], d_sig_p[op])
+    lp = lam_hat[p[op]] + _seg_excl_cumsum(p[op], d_lh_p[op])
+    leave_re[op] = _capped(sp + d_sig_p[op], lp + d_lh_p[op], lam) - _capped(
+        sp, lp, lam
+    )
+
+    keep = join_re + leave_re > 0.0
+    if not keep.any():
+        return cand[:1]
+    return cand[keep]
+
+
+def _optimise_vector(
+    params: TxAlloParams,
+    comm: np.ndarray,
+    sigma: np.ndarray,
+    lam_hat: np.ndarray,
+    views: dict,
+    n: int,
+    epsilon: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Phase 2 (Algorithm 1, lines 10-19) as objective-checked batches."""
+    k = params.k
+    eta = params.eta
+    lam = params.lam
+    src, dst, w = views["src"], views["dst"], views["w"]
+    loop, ext, once = views["loop"], views["ext"], views["once"]
+    node_ids = np.arange(n)
+    # Loop-invariant per-node terms of the closed-form cache deltas:
+    # leaving p changes ``sigma_p`` by ``-(loop + eta*ext) + (2eta-1)*W[v,p]``
+    # and joining q by the mirror image, so the (n, k) matrices below
+    # reduce to rank-one updates of the weight matrix.
+    a = loop + eta * ext
+    b = loop + 0.5 * ext
+    c1 = 2.0 * eta - 1.0
+    sweeps = 0
+    moves = 0
+    obj = float(_capped(sigma, lam_hat, lam).sum())
+    while sweeps < _GLOBAL_MAX_SWEEPS:
+        sweeps += 1
+        W = _weight_matrix(views, comm, n, k)
+        thr = _capped(sigma, lam_hat, lam)  # per-community, reused below
+        w_to_p = W[node_ids, comm]
+        sig_p_new = sigma[comm] - a + c1 * w_to_p
+        lh_p_new = lam_hat[comm] - b
+        leave = _capped(sig_p_new, lh_p_new, lam) - thr[comm]
+        sig_q_new = W * (-c1)
+        sig_q_new += a[:, None]
+        sig_q_new += sigma
+        lh_q_new = b[:, None] + lam_hat
+        gain = _capped(sig_q_new, lh_q_new, lam)
+        gain += leave[:, None]
+        gain -= thr
+        # Eq. 9 candidates: communities the node connects to, minus its own.
+        invalid = W <= 0.0
+        invalid[node_ids, comm] = True
+        gain[invalid] = -np.inf
+        best_q = np.argmax(gain, axis=1)
+        best_gain = gain[node_ids, best_q]
+        movers = np.flatnonzero(best_gain > 0.0)
+        if movers.size == 0:
+            break
+        # Candidates in descending-gain order (ties: smaller node id).
+        order = np.lexsort((movers, -best_gain[movers]))
+        cand = movers[order]
+        cand = _filter_movers(
+            cand, best_q, best_gain, comm, sigma, lam_hat, W, loop, ext, src, dst,
+            eta, lam,
+        )
+        # Apply the batch; halve while the realised objective regresses
+        # (the single top move is scored against the exact current
+        # caches, so take=1 always improves).  The kept movers are
+        # pairwise non-adjacent (_filter_movers drops one endpoint of
+        # every mover-mover edge), so the closed-form per-move cache
+        # deltas are exactly additive and each halving trial costs
+        # O(batch + k) instead of a full O(E) recompute.
+        d_sig_p = c1 * w_to_p - a
+        d_lh_p = -b
+        d_sig_q = a - c1 * W[node_ids, best_q]
+        d_lh_q = b
+        take = int(cand.size)
+        while True:
+            sel = cand[:take]
+            sig2 = (
+                sigma
+                + np.bincount(comm[sel], weights=d_sig_p[sel], minlength=k)
+                + np.bincount(best_q[sel], weights=d_sig_q[sel], minlength=k)
+            )
+            lh2 = (
+                lam_hat
+                + np.bincount(comm[sel], weights=d_lh_p[sel], minlength=k)
+                + np.bincount(best_q[sel], weights=d_lh_q[sel], minlength=k)
+            )
+            obj2 = float(_capped(sig2, lh2, lam).sum())
+            if obj2 > obj or take == 1:
+                break
+            take = max(1, take // 2)
+        comm = comm.copy()
+        comm[cand[:take]] = best_q[cand[:take]]
+        sigma, lam_hat = sig2, lh2
+        moves += take
+        realised = obj2 - obj
+        obj = obj2
+        if realised < epsilon:
+            break
+    # Re-anchor the incrementally-maintained caches on one exact
+    # recompute before handing them back (bounds float drift across
+    # sweeps; same invariant the flat engine's final recompute keeps).
+    sigma, lam_hat = _comm_caches(comm, k, src, dst, w, loop, once, eta)
+    return comm, sigma, lam_hat, sweeps, moves
+
+
+def _drain_capped(
+    params: TxAlloParams,
+    comm: np.ndarray,
+    sigma: np.ndarray,
+    lam_hat: np.ndarray,
+    views: dict,
+    n: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, bool]:
+    """Large-neighbourhood move: pull an over-capacity shard back under.
+
+    The sweeps hill-climb on single-node moves, and Eq. 3's capacity
+    cliff hides the best configurations from them: once ``sigma_s``
+    exceeds ``lam`` the shard's throughput degrades to the ratio term,
+    and *no individual* eviction gets it back under — the gain of a
+    collective drain only materialises on its last step, so every
+    intermediate state scores negative and sequential search never goes
+    there (observed: the fast backend keeps a clean under-capacity
+    shard worth several percent of objective that the batched sweeps
+    always cap).  For each capped shard this tries the collective move
+    directly: eject the members whose departure *lowers* ``sigma_s``
+    most per step — the weakly-attached, high-``ext`` nodes; removing a
+    strongly-internal node raises ``sigma`` since its intra edges
+    become cut — in one batch, just enough of them to cross back under
+    ``lam``, each rehomed to its best-connected other shard, and keeps
+    the batch only when the exactly recomputed objective improves.
+    """
+    k = params.k
+    eta = params.eta
+    lam = params.lam
+    src, dst, w = views["src"], views["dst"], views["w"]
+    loop, ext, once = views["loop"], views["ext"], views["once"]
+    obj = float(_capped(sigma, lam_hat, lam).sum())
+    moves = 0
+    improved = False
+    capped_ids = np.flatnonzero(sigma > lam)
+    if capped_ids.size == 0 or k < 2:
+        return comm, sigma, lam_hat, moves, improved
+    W = _weight_matrix(views, comm, n, k)
+    # Heaviest shards first, and at most a handful per call: the drain
+    # is a rescue move, not a sweep — bounding the exact-recompute
+    # trials keeps the no-op case cheap.
+    for s in capped_ids[np.argsort(-sigma[capped_ids], kind="stable")][:8]:
+        members = np.flatnonzero(comm == s)
+        if members.size <= 1 or k < 2:
+            continue
+        w_to_s = W[members, s]
+        d_sig = -loop[members] - eta * (ext[members] - w_to_s) + (eta - 1.0) * w_to_s
+        draining = d_sig < 0.0
+        if not draining.any():
+            continue
+        cand = members[draining]
+        dd = d_sig[draining]
+        order = np.argsort(dd, kind="stable")  # most draining first
+        csum = np.cumsum(dd[order])
+        need = np.searchsorted(-csum, sigma[s] - lam)
+        if need >= cand.size:
+            continue  # shard cannot be drained under capacity
+        eject = cand[order][: need + 1]
+        w_other = W[eject].copy()
+        w_other[:, s] = -1.0
+        dest = np.argmax(w_other, axis=1)
+        # Disconnected ejects would land on shard 0 by argmax; send
+        # them to the lightest shard instead.
+        unconnected = w_other[np.arange(eject.size), dest] <= 0.0
+        if unconnected.any():
+            others = np.flatnonzero(np.arange(k) != s)
+            dest[unconnected] = others[np.argmin(sigma[others])]
+        trial = comm.copy()
+        trial[eject] = dest
+        sig2, lh2 = _comm_caches(trial, k, src, dst, w, loop, once, eta)
+        obj2 = float(_capped(sig2, lh2, lam).sum())
+        if obj2 > obj:
+            comm, sigma, lam_hat, obj = trial, sig2, lh2, obj2
+            moves += int(eject.size)
+            improved = True
+            W = _weight_matrix(views, comm, n, k)
+    return comm, sigma, lam_hat, moves, improved
+
+
+def _carve_capped(
+    params: TxAlloParams,
+    comm: np.ndarray,
+    sigma: np.ndarray,
+    lam_hat: np.ndarray,
+    views: dict,
+    n: int,
+    cores: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, bool]:
+    """Large-neighbourhood move: keep one tight core, spill the rest.
+
+    The complement of :func:`_drain_capped`.  Draining fails when an
+    over-capacity shard has no weakly-attached members to shed — every
+    eviction *raises* ``sigma`` because internal edges become cut.  The
+    configurations the sequential backends find in those cells have the
+    opposite shape: one small, tightly-knit community sits alone in the
+    shard, safely under ``lam`` and contributing its full ``lam_hat``,
+    while everything else concentrates in the neighbouring shards whose
+    ``lam_hat/sigma`` ratio stays high.  Reaching that state from a
+    balanced capped split is a collective move no single-node step
+    scores positively, so for each capped shard this tries it directly:
+    pick a candidate core among the Louvain communities represented in
+    the shard (ranked by internal weight), move *all other members* to
+    their best-connected other shard in one batch, and keep the carve
+    only when the exactly recomputed objective improves.
+
+    Both sides of the cliff are tried: carving the capped shard itself
+    (keep the core under ``lam``, dump the rest elsewhere) and carving
+    its *under-capacity* neighbours (tighten them, pushing their
+    periphery into the capped shard, whose ratio term improves as cut
+    edges become internal).  The exact-objective acceptance decides
+    which — sequential search can't, because every intermediate state
+    scores negative.
+    """
+    k = params.k
+    eta = params.eta
+    lam = params.lam
+    src, dst, w = views["src"], views["dst"], views["w"]
+    loop, once = views["loop"], views["once"]
+    if k < 2 or cores.size == 0:
+        return comm, sigma, lam_hat, 0, False
+    num_cores = int(cores.max()) + 1
+    obj = float(_capped(sigma, lam_hat, lam).sum())
+    moves = 0
+    improved = False
+    W = None
+    shard_ids = np.arange(k)
+    trials_left = 16  # bound the exact-recompute budget per call
+    # The heaviest few capped shards first, then the heaviest few
+    # under-capacity ones while anything stays capped — the carve is a
+    # rescue move for the deep-cliff cells, so a narrow scan keeps the
+    # common no-op case cheap.
+    capped_ids = np.flatnonzero(sigma > lam)
+    under_ids = np.flatnonzero(sigma <= lam)
+    scan = np.concatenate([
+        capped_ids[np.argsort(-sigma[capped_ids], kind="stable")][:3],
+        under_ids[np.argsort(-sigma[under_ids], kind="stable")][:3],
+    ])
+    for s in scan:
+        if trials_left <= 0 or not (sigma > lam).any():
+            break
+        mem_mask = comm == s
+        members = np.flatnonzero(mem_mask)
+        if members.size <= 1:
+            continue
+        # Internal weight of each Louvain core restricted to this shard:
+        # loops plus the edges with both endpoints in the shard and the
+        # same core label (counted once).
+        internal = np.bincount(
+            cores[members], weights=loop[members], minlength=num_cores
+        )
+        if src.size:
+            em = mem_mask[src] & mem_mask[dst] & (cores[src] == cores[dst]) & once
+            internal += np.bincount(
+                cores[src[em]], weights=w[em], minlength=num_cores
+            )
+        present = np.flatnonzero(np.bincount(cores[members], minlength=num_cores))
+        cand_labels = present[np.argsort(-internal[present], kind="stable")][:4]
+        if W is None:
+            W = _weight_matrix(views, comm, n, k)
+        others = shard_ids[shard_ids != s]
+        lightest = others[np.argmin(sigma[others])]
+
+        def _rehome(spill):
+            # Each spilled node goes to its best-connected *other*
+            # shard; disconnected ones to the lightest.
+            w_other = W[spill].copy()
+            w_other[:, s] = -1.0
+            dest = np.argmax(w_other, axis=1)
+            unconnected = w_other[np.arange(spill.size), dest] <= 0.0
+            if unconnected.any():
+                dest[unconnected] = lightest
+            return dest
+
+        # Trial batch moves, cheapest structural fix first: dissolve
+        # the whole shard node-by-node, merge it wholesale into its
+        # strongest neighbour, then the keep-one-core carves.
+        trials = [(members, _rehome(members))]
+        cut_to = W[members].sum(axis=0)
+        cut_to[s] = -1.0
+        strongest = int(np.argmax(cut_to))
+        trials.append(
+            (members, np.full(members.size, strongest if cut_to[strongest] > 0 else lightest))
+        )
+        for c in cand_labels:
+            spill = np.flatnonzero(mem_mask & (cores != c))
+            if 0 < spill.size < members.size:
+                trials.append((spill, _rehome(spill)))
+
+        for spill, dest in trials:
+            if trials_left <= 0:
+                break
+            trials_left -= 1
+            trial = comm.copy()
+            trial[spill] = dest
+            sig2, lh2 = _comm_caches(trial, k, src, dst, w, loop, once, eta)
+            obj2 = float(_capped(sig2, lh2, lam).sum())
+            if obj2 > obj:
+                comm, sigma, lam_hat, obj = trial, sig2, lh2, obj2
+                moves += int(spill.size)
+                improved = True
+                W = _weight_matrix(views, comm, n, k)
+                break
+    return comm, sigma, lam_hat, moves, improved
+
+
+def _initialise_seq(
+    params: TxAlloParams,
+    comm: np.ndarray,
+    num_comms: int,
+    views: dict,
+    csr,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Phase 1 with the *sequential* absorption the flat engine uses.
+
+    The batched waves of :func:`_initialise_vector` make absorption
+    decisions against per-wave caches; the fast backend instead absorbs
+    the small-community nodes one at a time in ascending id order, each
+    against fully-current caches.  The two trajectories land in
+    different basins, and neither dominates across the (k, eta) grid —
+    so the vector backend runs both (see :func:`g_txallo_vector`) and
+    keeps whichever polishes out better.  The community caches are
+    pre-computed here as numpy bincounts so :func:`_initialise_flat`
+    skips its Python edge walk; only the small-node loop itself runs
+    sequentially.
+    """
+    from repro.core.engine import _initialise_flat
+
+    src, dst, w = views["src"], views["dst"], views["w"]
+    loop, once = views["loop"], views["once"]
+    intra = np.bincount(comm, weights=loop, minlength=num_comms)
+    if src.size:
+        same = comm[src] == comm[dst]
+        m_in = same & once
+        intra += np.bincount(comm[src[m_in]], weights=w[m_in], minlength=num_comms)
+        cut = np.bincount(comm[src[~same]], weights=w[~same], minlength=num_comms)
+    else:
+        cut = np.zeros(num_comms)
+    flat, num_small = _initialise_flat(
+        csr, params, comm.tolist(), num_comms, (intra.tolist(), cut.tolist())
+    )
+    return (
+        np.asarray(flat.comm, dtype=np.int64),
+        np.asarray(flat.sigma, dtype=np.float64),
+        np.asarray(flat.lam_hat, dtype=np.float64),
+        num_small,
+    )
+
+
+def _polish(
+    params: TxAlloParams,
+    comm: np.ndarray,
+    sigma: np.ndarray,
+    lam_hat: np.ndarray,
+    views: dict,
+    n: int,
+    csr,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Phase 2: batched sweeps alternated with the capacity-cliff moves.
+
+    Runs the sweep loop to convergence, then alternates the
+    large-neighbourhood moves (drain, then carve) with fresh sweep
+    passes until neither finds anything (bounded: each round must
+    strictly improve the exact objective to continue).
+    """
+    comm, sigma, lam_hat, sweeps, moves = _optimise_vector(
+        params, comm, sigma, lam_hat, views, n, params.epsilon
+    )
+    cores = None
+    for _round in range(4):
+        comm, sigma, lam_hat, d_moves, drained = _drain_capped(
+            params, comm, sigma, lam_hat, views, n
+        )
+        carved = False
+        c_moves = 0
+        if (sigma > params.lam).any():
+            if cores is None:
+                # Memoised per snapshot — free on the default path,
+                # one extra Louvain run on warm starts.
+                from repro.core.engine import louvain_flat
+
+                cores = np.asarray(louvain_flat(csr), dtype=np.int64)
+            comm, sigma, lam_hat, c_moves, carved = _carve_capped(
+                params, comm, sigma, lam_hat, views, n, cores
+            )
+        if not (drained or carved):
+            break
+        moves += d_moves + c_moves
+        comm, sigma, lam_hat, extra_sweeps, extra_moves = _optimise_vector(
+            params, comm, sigma, lam_hat, views, n, params.epsilon
+        )
+        sweeps += extra_sweeps
+        moves += extra_moves
+    return comm, sigma, lam_hat, sweeps, moves
+
+
+def g_txallo_vector(
+    graph: TransactionGraph,
+    params: TxAlloParams,
+    initial_partition: Optional[Dict[Node, int]] = None,
+    node_order: Optional[Sequence[Node]] = None,
+) -> Tuple[Allocation, int, int, int, int, float, float]:
+    """Algorithm 1 on the numpy kernels (registry 7-tuple, like
+    :func:`repro.core.engine.g_txallo_flat`).
+
+    ``node_order`` is accepted for signature compatibility and ignored:
+    the batched sweeps have no visit order (see the module docstring).
+    """
+    t0 = time.perf_counter()
+    csr = graph.freeze()
+    n = csr.num_nodes
+    k = params.k
+
+    if n < MIN_VECTOR_NODES:
+        # Under the batch-size crossover: the flat engine is as fast
+        # and byte-identical to the reference — delegate wholesale.
+        from repro.core.engine import g_txallo_flat
+
+        return g_txallo_flat(
+            graph, params, initial_partition=initial_partition,
+            node_order=node_order, warm=False,
+        )
+
+    if n == 0:
+        alloc = Allocation.from_partition(graph, params, {}, num_communities=k)
+        t1 = time.perf_counter()
+        return alloc, 0, 0, 0, 0, t1 - t0, 0.0
+
+    if initial_partition is None:
+        # Seed from the flat engine's (memoised, sequential) Louvain:
+        # it is both faster than the synchronous segment-op rounds of
+        # :func:`louvain_vector` and — being the exact partition the
+        # fast backend seeds from — keeps the polished objective inside
+        # the gate (the batched rounds reach the same modularity but a
+        # different community structure, which costs several percent of
+        # capped throughput in the tight-capacity cells).
+        from repro.core.engine import louvain_flat
+
+        comm = np.asarray(louvain_flat(csr), dtype=np.int64)
+        num_louvain = int(comm.max()) + 1 if n else 0
+    else:
+        from repro.core.engine import _lower_partition
+
+        num_louvain = 1 + max(initial_partition.values(), default=-1)
+        comm = np.asarray(
+            _lower_partition(csr, initial_partition, num_louvain), dtype=np.int64
+        )
+
+    views = _edge_views(csr)
+    if num_louvain > k:
+        comm, sigma, lam_hat, num_small = _initialise_seq(
+            params, comm, num_louvain, views, csr
+        )
+    else:
+        comm, sigma, lam_hat, num_small = _initialise_vector(
+            params, comm, num_louvain, views, n
+        )
+    t1 = time.perf_counter()
+
+    comm, sigma, lam_hat, sweeps, moves = _polish(
+        params, comm, sigma, lam_hat, views, n, csr
+    )
+    t2 = time.perf_counter()
+
+    mapping = {v: int(c) for v, c in zip(csr.nodes, comm)}
+    alloc = Allocation._from_compiled(
+        graph, params, mapping, sigma.tolist(), lam_hat.tolist()
+    )
+    return alloc, num_louvain, num_small, sweeps, moves, t1 - t0, t2 - t1

@@ -235,13 +235,15 @@ def sweep(
 ) -> List[MethodMetrics]:
     """The full (method x k x eta) grid behind Figs. 2, 3, 5, 6, 7, 8.
 
-    ``backend`` selects the TxAllo engine; with ``"fast"`` the whole grid
-    shares one frozen CSR graph and one memoised Louvain partition, which
-    is where most of the engine's end-to-end win comes from.
-    ``"reference"`` is byte-identical to ``"fast"``; ``"turbo"`` may
-    shift TxAllo's cells within its documented objective tolerance (it
-    exists for the dynamic controller path — on a static sweep the warm
-    start has no prior snapshot to seed from).
+    ``backend`` names a tier in the engine-backend registry
+    (:mod:`repro.core.backends`); with ``"fast"`` the whole grid shares
+    one frozen CSR graph and one memoised Louvain partition, which is
+    where most of the engine's end-to-end win comes from.
+    ``"reference"`` is byte-identical to ``"fast"``; ``"turbo"`` and
+    ``"vector"`` (the optional numpy tier — it amortises the same frozen
+    CSR and adds batched sweeps at large N, falling back to ``"fast"``
+    when numpy is absent) may shift TxAllo's cells within the registry's
+    documented objective tolerance.
     """
     cache = _MappingCache()
     records: List[MethodMetrics] = []
