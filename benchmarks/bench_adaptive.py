@@ -47,6 +47,13 @@ try:  # script mode from a clean checkout: resolve the src layout
 except ImportError:
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.core.parallel import pin_blas_threads
+
+# Explicit thread ownership for honest timings: pin the BLAS/OpenMP
+# knobs before any repro import can pull numpy in (the multi-core
+# layer owns its parallelism -- see repro.core.parallel).
+pin_blas_threads()
+
 from repro.core.controller import TxAlloController
 from repro.core.params import TxAlloParams
 from repro.data.synthetic import EthereumWorkloadGenerator, WorkloadConfig

@@ -20,7 +20,16 @@ import os
 
 import pytest
 
-from repro.eval import experiments
+# Pin BLAS/OpenMP thread counts before any repro import can pull numpy
+# in: bench timings must not be skewed by library-level oversubscription
+# (the multi-core layer owns its parallelism explicitly — see
+# repro.core.parallel).  The import is deliberately placed ahead of
+# repro.eval below.
+from repro.core.parallel import blas_threads_pinned, pin_blas_threads
+
+pin_blas_threads()
+
+from repro.eval import experiments  # noqa: E402
 
 BENCH_SCALE = float(os.environ.get("BENCH_SCALE", "0.5"))
 #: TxAllo engine backend for the whole suite ("fast"/"reference" are
@@ -43,6 +52,20 @@ def pytest_addoption(parser):
         "--scale", action="store", type=float, default=None,
         help=f"workload scale factor (default: BENCH_SCALE env or {BENCH_SCALE})",
     )
+
+
+@pytest.fixture(autouse=True)
+def _assert_blas_pinned():
+    """Every bench test runs under an explicit BLAS/OpenMP thread pin.
+
+    The pin itself happens at module import above (before numpy loads);
+    this just fails loudly if some future import shuffle drops it.
+    """
+    assert blas_threads_pinned(), (
+        "BLAS/OpenMP thread knobs are unpinned — pin_blas_threads() must "
+        "run at benchmarks/conftest.py import, before numpy loads"
+    )
+    yield
 
 
 @pytest.fixture(scope="session")

@@ -59,6 +59,10 @@ COLUMNS = (
     "adaptive_loop_speedup",
     "resilience_tps_retention",
     "resilience_recovery_blocks",
+    "parallel_grid_w1_s",
+    "parallel_grid_speedup_w4",
+    "parallel_window_speedup_w4",
+    "parallel_window_obj_ratio",
 )
 
 #: (bench script, BENCH json stem) pairs behind the row columns — also
@@ -69,6 +73,7 @@ BENCHES = (
     ("bench_louvain_warm.py", "BENCH_louvain"),
     ("bench_adaptive.py", "BENCH_adaptive"),
     ("bench_resilience.py", "BENCH_resilience"),
+    ("bench_parallel.py", "BENCH_parallel"),
 )
 
 
@@ -93,6 +98,7 @@ def build_row(bench_dir: Path, commit: str, suffix: str = "") -> dict:
     louvain = _load(bench_dir, f"BENCH_louvain{suffix}.json")
     adaptive = _load(bench_dir, f"BENCH_adaptive{suffix}.json")
     resilience = _load(bench_dir, f"BENCH_resilience{suffix}.json")
+    par = _load(bench_dir, f"BENCH_parallel{suffix}.json")
     scale = engine.get(
         "scale", delta.get("scale", louvain.get("scale", adaptive.get("scale")))
     )
@@ -119,6 +125,10 @@ def build_row(bench_dir: Path, commit: str, suffix: str = "") -> dict:
         "adaptive_loop_speedup": adaptive.get("speedup"),
         "resilience_tps_retention": resilience.get("tps_retention"),
         "resilience_recovery_blocks": resilience.get("recovery_blocks"),
+        "parallel_grid_w1_s": (par.get("grid_seconds") or {}).get("1"),
+        "parallel_grid_speedup_w4": par.get("grid_speedup_w4"),
+        "parallel_window_speedup_w4": par.get("window_speedup_w4"),
+        "parallel_window_obj_ratio": par.get("window_objective_ratio_min"),
     }
 
 

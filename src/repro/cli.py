@@ -125,7 +125,17 @@ def build_parser() -> argparse.ArgumentParser:
              "work-skipping sweeps) and 'vector' (numpy batched "
              "sweeps, falls back to fast when numpy is absent) are "
              "deterministic and objective-gated within the registry "
-             "tolerance (default fast)",
+             "tolerance; 'parallel' adds shard-parallel A-TxAllo sweeps "
+             "on top of vector (default fast)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker count for the multi-core execution layer: >1 fans "
+             "the sweep/fig4 evaluation grid out to a process pool "
+             "(records identical to --workers 1; requires fork, "
+             "otherwise runs sequentially) and sets "
+             "TxAlloParams.workers so workers-aware backends like "
+             "'parallel' thread their A-TxAllo sweeps (default 1)",
     )
     return parser
 
@@ -162,7 +172,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(
                 experiments.figure4(
                     workload, k=args.k, eta=args.eta, methods=methods,
-                    backend=args.backend,
+                    backend=args.backend, workers=args.workers,
                 ).render()
             )
         elif figure == "fig9":
@@ -170,21 +180,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 experiments.figure9(
                     workload, k=args.k, eta=args.eta,
                     gaps=args.gaps, max_steps=args.steps,
-                    backend=args.backend,
+                    backend=args.backend, workers=args.workers,
                 ).render()
             )
         elif figure == "fig10":
             print(
                 experiments.figure10(
                     workload, k=args.k, eta=args.eta, max_steps=args.steps,
-                    backend=args.backend,
+                    backend=args.backend, workers=args.workers,
                 ).render()
             )
         else:
             if records is None:
                 records = experiments.sweep(
                     workload, ks=ks, etas=etas, methods=methods,
-                    backend=args.backend,
+                    backend=args.backend, workers=args.workers,
                 )
             print(_SWEEP_FIGURES[figure](records).render())
         print()

@@ -348,39 +348,7 @@ class CSRGraph:
             total_weight=graph.total_weight,
         )
 
-        # Carry the prior Louvain membership forward for the turbo warm
-        # start.  Preference order per key: the base's own warm result
-        # (the partition actually in use on a turbo chain), then its cold
-        # result, then an inherited seed from an earlier snapshot (the
-        # base never ran Louvain — e.g. adaptive-only freezes between two
-        # global refreshes), whose frontier keeps accumulating.  An
-        # inherited frontier set is *shared along the chain* and updated
-        # in place, so each extend pays O(delta), not O(total frontier) —
-        # the fast backend never consumes these seeds and must not pay
-        # for them.  This is a deliberate exception to snapshot
-        # immutability: an older snapshot in the chain may see its
-        # frontier grow, including ids beyond its own node range;
-        # ``louvain_flat_warm`` clamps those out and over-re-seeds the
-        # rest, which is safe and deterministic for any fixed call
-        # sequence.  Seeds whose stale
-        # share went past the warm fallback fraction are dropped rather
-        # than carried dead weight; the formula matches
-        # louvain_flat_warm's fallback check (frontier + nodes added
-        # since the seed partition, conservatively double-counting new
-        # nodes present in both terms), so a seed kept here is exactly a
-        # seed the warm start will accept.
-        delta_ids = [index_of[v] for v in rebuild]
-        max_stale = WARM_SEED_STALE_FRACTION * n
-        seeds = csr.warm_seeds
-        for memo in (base.louvain_warm_memo, base.louvain_memo):
-            for key, labels in memo.items():
-                if key not in seeds and len(delta_ids) + (n - len(labels)) <= max_stale:
-                    seeds[key] = (labels, set(delta_ids))
-        for key, (labels, frontier) in base.warm_seeds.items():
-            if key not in seeds:
-                frontier.update(delta_ids)
-                if len(frontier) + (n - len(labels)) <= max_stale:
-                    seeds[key] = (labels, frontier)
+        carry_warm_seeds(base, csr, [index_of[v] for v in rebuild])
         return csr
 
     # ------------------------------------------------------------------
@@ -447,3 +415,48 @@ class CSRGraph:
             f"CSRGraph(nodes={len(self.nodes)}, edges={self.num_edges}, "
             f"weight={self.total_weight:.2f})"
         )
+
+
+def carry_warm_seeds(
+    base: "CSRGraph", csr: "CSRGraph", delta_ids: Sequence[int]
+) -> None:
+    """Carry ``base``'s Louvain memberships onto ``csr`` as warm seeds.
+
+    ``delta_ids`` are the (``csr``-numbered) ids whose rows changed since
+    ``base``; ids must be insertion-stable between the two snapshots, so
+    this is valid for incremental extends *and* for full rebuilds whose
+    delta log stayed intact (monotone growth only — a poisoned log means
+    rows were renumbered or rewritten and the prior membership is
+    unusable).
+
+    Preference order per key: the base's own warm result (the partition
+    actually in use on a turbo chain), then its cold result, then an
+    inherited seed from an earlier snapshot (the base never ran Louvain —
+    e.g. adaptive-only freezes between two global refreshes), whose
+    frontier keeps accumulating.  An inherited frontier set is *shared
+    along the chain* and updated in place, so each carry pays O(delta),
+    not O(total frontier) — the fast backend never consumes these seeds
+    and must not pay for them.  This is a deliberate exception to
+    snapshot immutability: an older snapshot in the chain may see its
+    frontier grow, including ids beyond its own node range;
+    ``louvain_flat_warm`` clamps those out and over-re-seeds the rest,
+    which is safe and deterministic for any fixed call sequence.  Seeds
+    whose stale share went past the warm fallback fraction are dropped
+    rather than carried dead weight; the formula matches
+    ``louvain_flat_warm``'s fallback check (frontier + nodes added since
+    the seed partition, conservatively double-counting new nodes present
+    in both terms), so a seed kept here is exactly a seed the warm start
+    will accept.
+    """
+    n = len(csr.nodes)
+    max_stale = WARM_SEED_STALE_FRACTION * n
+    seeds = csr.warm_seeds
+    for memo in (base.louvain_warm_memo, base.louvain_memo):
+        for key, labels in memo.items():
+            if key not in seeds and len(delta_ids) + (n - len(labels)) <= max_stale:
+                seeds[key] = (labels, set(delta_ids))
+    for key, (labels, frontier) in base.warm_seeds.items():
+        if key not in seeds:
+            frontier.update(delta_ids)
+            if len(frontier) + (n - len(labels)) <= max_stale:
+                seeds[key] = (labels, frontier)

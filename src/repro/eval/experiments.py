@@ -151,10 +151,23 @@ class _MappingCache:
     once per ``k`` and reused for every eta panel, with the first run's
     wall-clock reported for each reuse (the mapping is what's shared,
     not the work).
+
+    ``preloaded`` seeds the cache from another process: the parallel
+    grid (:mod:`repro.core.parallel`) computes every eta-independent
+    mapping once in the parent, ``export()``\\ s the cache, and ships it
+    to the pool workers so fan-out never recomputes METIS/prefix per
+    worker.
     """
 
-    def __init__(self) -> None:
-        self._cache: Dict[Tuple[str, int], Tuple[dict, float]] = {}
+    def __init__(
+        self,
+        preloaded: Optional[Dict[Tuple[str, int], Tuple[dict, float]]] = None,
+    ) -> None:
+        self._cache: Dict[Tuple[str, int], Tuple[dict, float]] = dict(preloaded or {})
+
+    def export(self) -> Dict[Tuple[str, int], Tuple[dict, float]]:
+        """A picklable snapshot of the cache, for seeding worker processes."""
+        return dict(self._cache)
 
     def mapping_for(
         self,
@@ -232,6 +245,7 @@ def sweep(
     etas: Sequence[float] = DEFAULT_ETAS,
     methods: Sequence[str] = METHODS,
     backend: str = "fast",
+    workers: int = 1,
 ) -> List[MethodMetrics]:
     """The full (method x k x eta) grid behind Figs. 2, 3, 5, 6, 7, 8.
 
@@ -244,16 +258,29 @@ def sweep(
     CSR and adds batched sweeps at large N, falling back to ``"fast"``
     when numpy is absent) may shift TxAllo's cells within the registry's
     documented objective tolerance.
+
+    ``workers > 1`` fans the independent cells out to a process pool
+    (:func:`repro.core.parallel.run_grid`) with the shared freeze,
+    Louvain memo and eta-independent mappings computed once in the
+    parent.  Records come back in the same canonical (eta, k, method)
+    order and are identical to a ``workers=1`` run up to the
+    ``runtime_seconds`` timing field; platforms without ``fork`` fall
+    back to the sequential path.
     """
+    cells = [
+        (method, k, eta) for eta in etas for k in ks for method in methods
+    ]
+    if workers > 1:
+        from repro.core.parallel import run_grid
+
+        return run_grid(workload, cells, backend=backend, workers=workers)
     cache = _MappingCache()
     records: List[MethodMetrics] = []
-    for eta in etas:
-        for k in ks:
-            params = TxAlloParams.with_capacity_for(
-                workload.num_transactions, k=k, eta=eta, backend=backend
-            )
-            for method in methods:
-                records.append(run_method(method, workload, params, cache))
+    for method, k, eta in cells:
+        params = TxAlloParams.with_capacity_for(
+            workload.num_transactions, k=k, eta=eta, backend=backend
+        )
+        records.append(run_method(method, workload, params, cache))
     return records
 
 
@@ -434,7 +461,19 @@ def figure4(
     eta: float = 2.0,
     methods: Sequence[str] = METHODS,
     backend: str = "fast",
+    workers: int = 1,
 ) -> Figure4Report:
+    """Fig. 4 case study; ``workers > 1`` runs the methods through the
+    process-parallel grid (identical distributions, wall-clock only)."""
+    if workers > 1:
+        from repro.core.parallel import run_grid
+
+        cells = [(m, k, eta) for m in methods]
+        records = run_grid(workload, cells, backend=backend, workers=workers)
+        distributions = {
+            method_label(rec.method): rec.normalized_workloads for rec in records
+        }
+        return Figure4Report(k=k, eta=eta, distributions=distributions)
     params = TxAlloParams.with_capacity_for(
         workload.num_transactions, k=k, eta=eta, backend=backend
     )
@@ -561,12 +600,16 @@ def figure9(
     split_ratio: float = 0.9,
     max_steps: int = 0,
     backend: str = "fast",
+    workers: int = 1,
 ) -> Figure9Report:
     """Fig. 9: A-TxAllo throughput evolution for several global gaps.
 
     ``window_blocks`` is the adaptive period τ₁ in blocks (0 = auto so the
     evaluation stream yields ~40 windows); ``max_steps`` truncates the
     stream (0 = use all windows).  The paper's τ₁ is 300 blocks (≈1 hour).
+    ``workers`` lands in :attr:`TxAlloParams.workers`: workers-aware
+    backends (``"parallel"``) thread their adaptive window sweeps, all
+    others ignore it.
     """
     train, evaluation = workload.blocks.split(split_ratio)
     if window_blocks <= 0:
@@ -576,7 +619,7 @@ def figure9(
         windows = windows[:max_steps]
 
     params = TxAlloParams.with_capacity_for(
-        train.num_transactions, k=k, eta=eta, backend=backend
+        train.num_transactions, k=k, eta=eta, backend=backend, workers=workers
     )
     train_graph = TransactionGraph()
     for s in train.account_sets():
@@ -635,6 +678,7 @@ def figure10(
     split_ratio: float = 0.9,
     max_steps: int = 0,
     backend: str = "fast",
+    workers: int = 1,
 ) -> Figure10Report:
     """Fig. 10: runtime of pure-global vs. hybrid updating (τ₂ = gap·τ₁)."""
     report = figure9(
@@ -646,6 +690,7 @@ def figure10(
         split_ratio=split_ratio,
         max_steps=max_steps,
         backend=backend,
+        workers=workers,
     )
     return Figure10Report(
         pure=report.runs["Global Method"],

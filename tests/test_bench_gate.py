@@ -11,7 +11,15 @@ gates: >= 1.3x end-to-end, byte-identical, workspace actually extends
 across windows); ``benchmarks/BENCH_resilience.json`` records the
 supervised TxAllo controller under the standard fault plan against the
 fault-free baseline (standing gates: committed TPS retention >= 0.7,
-circuit tripped and re-closed, no transaction lost).  These tests load
+circuit tripped and re-closed, no transaction lost);
+``benchmarks/BENCH_parallel.json`` records the multi-core execution
+layer — the process-parallel evaluation grid and the shard-parallel
+A-TxAllo window sweeps (structural gates always: records byte-identical
+across worker counts, mapping workers-independent, objective within the
+registry tolerance, the batched path actually taken; the *speedup*
+gates >= 2.5x grid / >= 1.5x windows apply only to a scale-2 row
+recorded on a host with >= 4 cores — a 1-core recording keeps honest
+~1x columns without failing).  These tests load
 whichever run table is on disk — in
 CI's perf job that is the file *regenerated on this very commit* — and
 fail the suite on a regression.  Each skips cleanly when its file is
@@ -30,6 +38,8 @@ SCALE2_PATH = BENCH_DIR / "BENCH_engine.scale2.json"
 LOUVAIN_PATH = BENCH_DIR / "BENCH_louvain.json"
 ADAPTIVE_PATH = BENCH_DIR / "BENCH_adaptive.json"
 RESILIENCE_PATH = BENCH_DIR / "BENCH_resilience.json"
+PARALLEL_PATH = BENCH_DIR / "BENCH_parallel.json"
+PARALLEL_SCALE2_PATH = BENCH_DIR / "BENCH_parallel.scale2.json"
 
 GRID_SPEEDUP_GATE = 3.0
 VECTOR_GRID_GATE = 3.0
@@ -38,6 +48,12 @@ VECTOR_OBJECTIVE_TOLERANCE = 0.02
 WARM_REFRESH_GATE = 2.0
 ADAPTIVE_LOOP_GATE = 1.3
 TPS_RETENTION_GATE = 0.7
+PARALLEL_GRID_OVERHEAD_FLOOR = 0.8
+PARALLEL_GRID_GATE = 2.5
+PARALLEL_WINDOW_GATE = 1.5
+PARALLEL_OBJECTIVE_TOLERANCE = 0.02
+#: Speedup gates only bind when the recording host could express them.
+PARALLEL_MIN_CPUS = 4
 
 
 def _load_payload():
@@ -236,6 +252,114 @@ def test_resilience_run_table_schema():
     ):
         assert key in payload, key
     assert payload["baseline_tps"] > 0.0
+
+
+def _load_parallel(path=PARALLEL_PATH):
+    if not path.exists():
+        pytest.skip(
+            f"benchmarks/{path.name} absent; run "
+            "benchmarks/bench_parallel.py to regenerate"
+        )
+    return json.loads(path.read_text())
+
+
+def test_parallel_grid_records_identical():
+    """workers=N must change wall-clock only — never the records."""
+    payload = _load_parallel()
+    assert payload["grid_records_identical"] is True, (
+        "parallel evaluation grid produced different records across worker "
+        "counts; the process-pool fan-out broke determinism"
+    )
+
+
+def test_parallel_grid_overhead_floor():
+    """Fan-out may not *lose* the grid, even on a single core."""
+    payload = _load_parallel()
+    w4 = payload.get("grid_speedup_w4")
+    if w4 is None:
+        pytest.skip("run table recorded no 4-worker grid timing")
+    assert w4 >= PARALLEL_GRID_OVERHEAD_FLOOR, (
+        f"parallel grid at 4 workers ran {w4:.2f}x vs workers=1 — pool "
+        f"overhead exceeded the {PARALLEL_GRID_OVERHEAD_FLOOR}x floor"
+    )
+
+
+def test_parallel_window_objective_and_independence():
+    payload = _load_parallel()
+    ratio = payload.get("window_objective_ratio_min")
+    if ratio is None:
+        pytest.skip("run table was produced without numpy")
+    assert ratio >= 1.0 - PARALLEL_OBJECTIVE_TOLERANCE, (
+        f"shard-parallel objective ratio {ratio:.4f} drifted more than "
+        f"{PARALLEL_OBJECTIVE_TOLERANCE} below the vector baseline"
+    )
+    assert payload["window_workers_independent"] is True, (
+        "shard-parallel final mapping depends on the worker count"
+    )
+    assert payload["window_batched_runs"], (
+        "no window ever took the batched shard-parallel path; the bench "
+        "scenario no longer exercises the kernel it exists to gate"
+    )
+
+
+def test_parallel_run_table_schema():
+    payload = _load_parallel()
+    for key in (
+        "scale",
+        "cpu_count",
+        "fork_available",
+        "blas_pinned",
+        "grid_seconds",
+        "grid_speedup_w4",
+        "grid_records_identical",
+        "window_speedup_w4",
+        "window_objective_ratio_min",
+        "window_workers_independent",
+        "window_batched_runs",
+    ):
+        assert key in payload, key
+    assert payload["blas_pinned"] is True
+    assert payload["grid_seconds"]["1"] > 0.0
+
+
+def test_parallel_scale2_structural_gates():
+    """The committed large-N row holds the same structural contract."""
+    payload = _load_parallel(PARALLEL_SCALE2_PATH)
+    assert payload["scale"] >= 2.0
+    assert payload["grid_records_identical"] is True
+    ratio = payload.get("window_objective_ratio_min")
+    if ratio is not None:
+        assert ratio >= 1.0 - PARALLEL_OBJECTIVE_TOLERANCE, (
+            f"scale-2 shard-parallel objective ratio {ratio:.4f} out of tolerance"
+        )
+        assert payload["window_workers_independent"] is True
+        assert payload["window_batched_runs"]
+
+
+def test_parallel_scale2_speedup_gates():
+    """Multi-core speedups, enforced only where cores existed to use.
+
+    A 1-core recording host cannot exhibit a multi-core speedup; the row
+    still documents honest ~1x columns and the structural gates above.
+    """
+    payload = _load_parallel(PARALLEL_SCALE2_PATH)
+    cpus = payload.get("cpu_count") or 1
+    if cpus < PARALLEL_MIN_CPUS:
+        pytest.skip(
+            f"scale-2 row recorded on a {cpus}-core host; the multi-core "
+            f"speedup gates need >= {PARALLEL_MIN_CPUS} cores"
+        )
+    w4 = payload["grid_speedup_w4"]
+    assert w4 >= PARALLEL_GRID_GATE, (
+        f"parallel grid speedup {w4:.2f}x at scale 2 fell below the "
+        f"{PARALLEL_GRID_GATE}x gate"
+    )
+    ws = payload.get("window_speedup_w4")
+    if ws is not None:
+        assert ws >= PARALLEL_WINDOW_GATE, (
+            f"shard-parallel window speedup {ws:.2f}x at scale 2 fell below "
+            f"the {PARALLEL_WINDOW_GATE}x gate"
+        )
 
 
 def test_louvain_run_table_schema():

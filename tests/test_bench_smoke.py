@@ -1,10 +1,11 @@
 """Fast smoke tests for the perf run-table plumbing.
 
 Runs ``benchmarks/bench_delta_freeze.py``,
-``benchmarks/bench_louvain_warm.py``, ``benchmarks/bench_adaptive.py``
-and ``benchmarks/bench_resilience.py`` end-to-end at a small scale and
-asserts the run tables regenerate and the
-incremental/warm/batched/supervised paths were actually exercised — so the
+``benchmarks/bench_louvain_warm.py``, ``benchmarks/bench_adaptive.py``,
+``benchmarks/bench_resilience.py`` and ``benchmarks/bench_parallel.py``
+end-to-end at a small scale and asserts the run tables regenerate and the
+incremental/warm/batched/supervised/multi-core paths were actually
+exercised — so the
 benchmarks (and the ``BENCH_*.json`` trajectories later PRs gate
 against) cannot silently rot.  The speedup gates themselves only apply
 at the benchmarks' own scale, not here.
@@ -19,6 +20,7 @@ BENCH_PATH = BENCH_DIR / "bench_delta_freeze.py"
 WARM_BENCH_PATH = BENCH_DIR / "bench_louvain_warm.py"
 ADAPTIVE_BENCH_PATH = BENCH_DIR / "bench_adaptive.py"
 RESILIENCE_BENCH_PATH = BENCH_DIR / "bench_resilience.py"
+PARALLEL_BENCH_PATH = BENCH_DIR / "bench_parallel.py"
 
 
 def _load_module(path):
@@ -199,5 +201,52 @@ def test_committed_resilience_run_table_is_current():
     committed = BENCH_DIR / "BENCH_resilience.json"
     assert committed.exists(), "run benchmarks/bench_resilience.py to regenerate"
     bench = _load_module(RESILIENCE_BENCH_PATH)
+    payload = json.loads(committed.read_text())
+    assert bench.check_gates(payload) == []
+
+
+def test_bench_parallel_regenerates_and_fans_out(tmp_path):
+    """bench_parallel end-to-end at a small scale: the run table must
+    regenerate, the grid records must be byte-identical across worker
+    counts (run_bench asserts it), and the window sweeps must actually
+    take the batched shard-parallel path.  The multi-core *speedup*
+    gates are environment-conditional and do not apply here."""
+    bench = _load_module(PARALLEL_BENCH_PATH)
+    out_path = tmp_path / "BENCH_parallel.json"
+    payload = bench.run_bench(scale=0.25, out_path=out_path)
+
+    assert out_path.exists()
+    assert json.loads(out_path.read_text()) == payload
+
+    for key in (
+        "scale",
+        "cpu_count",
+        "fork_available",
+        "blas_pinned",
+        "grid_seconds",
+        "grid_speedup_w4",
+        "grid_records_identical",
+        "window_speedup_w4",
+        "window_objective_ratio_min",
+        "window_workers_independent",
+        "window_batched_runs",
+    ):
+        assert key in payload, key
+
+    assert payload["blas_pinned"] is True
+    assert payload["grid_records_identical"] is True
+    if payload["window_objective_ratio_min"] is not None:
+        assert payload["window_workers_independent"] is True
+        assert payload["window_batched_runs"] > 0
+    assert bench.check_gates(payload) == []
+
+
+def test_committed_parallel_run_table_is_current():
+    """The checked-in BENCH_parallel.json must satisfy the standing
+    gates (the environment-conditional speedup gates consult the
+    *recorded* cpu_count, so this holds on any runner)."""
+    committed = BENCH_DIR / "BENCH_parallel.json"
+    assert committed.exists(), "run benchmarks/bench_parallel.py to regenerate"
+    bench = _load_module(PARALLEL_BENCH_PATH)
     payload = json.loads(committed.read_text())
     assert bench.check_gates(payload) == []

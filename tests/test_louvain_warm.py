@@ -13,8 +13,11 @@ promises instead of byte-parity:
 * turbo never contaminates the fast backend — ``backend="fast"`` stays
   byte-identical to ``"reference"`` even on a snapshot turbo already
   partitioned (separate memos);
-* warm seeds ride ``CSRGraph.extend`` and die on full rebuilds
-  (decay / pruning / oversized deltas);
+* warm seeds ride ``CSRGraph.extend``; on full rebuilds they survive
+  only when the delta log stayed intact and the frontier is still under
+  ``REBUILD_SEED_CARRY_FRACTION`` (a bursty-but-monotone window), and
+  die with the snapshot otherwise (decay / pruning / mostly-rewritten
+  graphs);
 * the controller's ``warm_stats`` counters report the warm/cold split.
 """
 
@@ -192,6 +195,28 @@ class TestWarmSeedLifecycle:
         # And the newest snapshot still warm-starts correctly.
         newest = louvain_flat_warm(csr2)
         assert len(newest) == csr2.num_nodes
+
+    def test_intact_log_full_rebuild_carries_seed(self):
+        """A monotone frontier past ``DELTA_REBUILD_FRACTION`` forces the
+        full O(N+E) re-lowering, but — ids being insertion-stable — the
+        turbo seeds ride across it when the frontier share stays under
+        ``REBUILD_SEED_CARRY_FRACTION``, so a τ₂ refresh right after a
+        bursty window still warm-starts."""
+        graph = make_random_graph(seed=11)
+        csr0 = graph.freeze()
+        louvain_flat_warm(csr0)
+        full0 = graph.freeze_stats["full"]
+        # Touch ~35% of the nodes: above the 25% extend cutoff, below
+        # the 50% seed-carry cutoff.
+        nodes = sorted(graph.nodes())
+        upto = int(len(nodes) * 0.35)
+        for i in range(0, upto - 1, 2):
+            graph.add_transaction((nodes[i], nodes[i + 1]))
+        csr1 = graph.freeze()
+        assert graph.freeze_stats["full"] == full0 + 1  # rebuilt, not extended
+        assert (32, 1.0) in csr1.warm_seeds
+        louvain_flat_warm(csr1)
+        assert csr1.louvain_warm_hit is True
 
     def test_oversized_frontier_falls_back_cold(self):
         graph = make_random_graph(seed=12)
