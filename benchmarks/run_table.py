@@ -63,6 +63,10 @@ COLUMNS = (
     "parallel_grid_speedup_w4",
     "parallel_window_speedup_w4",
     "parallel_window_obj_ratio",
+    "matrix_s",
+    "matrix_cells",
+    "matrix_txallo_tps",
+    "matrix_hash_tps",
 )
 
 #: (bench script, BENCH json stem) pairs behind the row columns — also
@@ -74,6 +78,7 @@ BENCHES = (
     ("bench_adaptive.py", "BENCH_adaptive"),
     ("bench_resilience.py", "BENCH_resilience"),
     ("bench_parallel.py", "BENCH_parallel"),
+    ("bench_matrix.py", "BENCH_matrix"),
 )
 
 
@@ -99,6 +104,7 @@ def build_row(bench_dir: Path, commit: str, suffix: str = "") -> dict:
     adaptive = _load(bench_dir, f"BENCH_adaptive{suffix}.json")
     resilience = _load(bench_dir, f"BENCH_resilience{suffix}.json")
     par = _load(bench_dir, f"BENCH_parallel{suffix}.json")
+    matrix = _load(bench_dir, f"BENCH_matrix{suffix}.json")
     scale = engine.get(
         "scale", delta.get("scale", louvain.get("scale", adaptive.get("scale")))
     )
@@ -129,6 +135,10 @@ def build_row(bench_dir: Path, commit: str, suffix: str = "") -> dict:
         "parallel_grid_speedup_w4": par.get("grid_speedup_w4"),
         "parallel_window_speedup_w4": par.get("window_speedup_w4"),
         "parallel_window_obj_ratio": par.get("window_objective_ratio_min"),
+        "matrix_s": matrix.get("matrix_seconds"),
+        "matrix_cells": matrix.get("cells"),
+        "matrix_txallo_tps": matrix.get("txallo_tps_ethereum"),
+        "matrix_hash_tps": matrix.get("hash_tps_ethereum"),
     }
 
 

@@ -351,6 +351,33 @@ def with_faults(allocator: OnlineAllocator, plan: FaultPlan) -> OnlineAllocator:
     return FaultyAllocator(allocator, plan)
 
 
+def resolve_fault_plan(
+    name: str, *, ticks: int, k: int, tau2: int
+) -> Optional[FaultPlan]:
+    """Resolve a matrix-spec fault-plan name to a :class:`FaultPlan`.
+
+    The spec vocabulary: ``"none"`` (no plan), ``"standard"``
+    (:meth:`FaultPlan.standard` at the run's ``tau2``), and
+    ``"seeded:<int>"`` (:meth:`FaultPlan.seeded` over the run's
+    ``ticks``/``k``).  Anything else raises :class:`ParameterError`.
+    """
+    if name == "none":
+        return None
+    if name == "standard":
+        return FaultPlan.standard(tau2)
+    if name.startswith("seeded:"):
+        try:
+            seed = int(name.split(":", 1)[1])
+        except ValueError:
+            raise ParameterError(
+                f"bad seeded fault plan {name!r}; expected 'seeded:<int>'"
+            ) from None
+        return FaultPlan.seeded(seed, ticks=ticks, k=k)
+    raise ParameterError(
+        f"unknown fault plan {name!r}; expected 'none', 'standard' or 'seeded:<int>'"
+    )
+
+
 __all__ = [
     "AllocatorFault",
     "DeliveryFault",
@@ -358,5 +385,6 @@ __all__ = [
     "FaultyAllocator",
     "MalformedDelivery",
     "ShardStall",
+    "resolve_fault_plan",
     "with_faults",
 ]

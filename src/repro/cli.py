@@ -6,6 +6,7 @@ Examples::
     txallo fig4 --methods txallo,metis,prefix
     txallo fig9 --k 20 --gaps 20,100
     txallo live-compare --k 8 --scale 0.25
+    txallo matrix --spec spec.json --out results/
     txallo all --scale 0.25
 
 ``--methods`` accepts any allocator name registered in
@@ -60,9 +61,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "figure",
         choices=sorted(_SWEEP_FIGURES)
-        + ["fig1", "fig4", "fig9", "fig10", "live-compare", "all"],
+        + ["fig1", "fig4", "fig9", "fig10", "live-compare", "matrix", "all"],
         help="which figure to regenerate ('all' runs every figure; "
-        "'live-compare' runs the method set through the live network)",
+        "'live-compare' runs the method set through the live network; "
+        "'matrix' expands a declared-factors scenario spec)",
+    )
+    parser.add_argument(
+        "--spec", default=None,
+        help="matrix only: JSON experiment spec (factors over workload "
+             "topology, scale, allocator, backend, tau cadence, fault "
+             "plan, plus reps/base_seed/k/eta; default: the built-in "
+             "smoke spec)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="matrix only: artifact directory (spec.json, per-run "
+             "folders, aggregated run_table.csv); default: print the "
+             "table without writing artifacts",
     )
     parser.add_argument(
         "--scale", type=float, default=0.5,
@@ -142,6 +157,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.figure == "matrix":
+        # The matrix builds its own workloads per cell; none of the
+        # figure plumbing below applies.
+        from repro.eval import matrix
+
+        try:
+            spec = matrix.load_spec(args.spec) if args.spec else matrix.smoke_spec()
+            result = matrix.run_matrix(spec, out_dir=args.out, workers=args.workers)
+        except ParameterError as exc:
+            print(f"txallo: {exc}", file=sys.stderr)
+            return 2
+        print(result.render())
+        return 0
     methods = tuple(args.methods) if args.methods else experiments.METHODS
     try:
         for method in methods:

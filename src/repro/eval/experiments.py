@@ -39,6 +39,7 @@ from repro.data.synthetic import (
     EthereumWorkloadGenerator,
     WorkloadConfig,
     account_sets,
+    make_workload_generator,
 )
 from repro.errors import ParameterError
 from repro.eval.reporting import ascii_bar_chart, ascii_line_chart, format_table
@@ -80,6 +81,8 @@ class Workload:
     graph: TransactionGraph
     blocks: BlockStream
     card: DatasetCard
+    #: Registered workload-zoo topology this workload was built from.
+    topology: str = "ethereum"
 
     @property
     def num_transactions(self) -> int:
@@ -89,13 +92,16 @@ class Workload:
 def build_workload(
     scale: float = 1.0,
     seed: int = 2022,
+    topology: str = "ethereum",
     **overrides,
 ) -> Workload:
     """Generate the evaluation workload at a given scale.
 
     ``scale`` multiplies both the account and transaction counts of the
     default configuration; other :class:`WorkloadConfig` fields can be
-    overridden by keyword.
+    overridden by keyword.  ``topology`` names a registered workload-zoo
+    generator (:func:`repro.data.synthetic.workload_names`); the default
+    is the paper's Ethereum-like baseline.
     """
     if scale <= 0:
         raise ParameterError(f"scale must be positive, got {scale!r}")
@@ -107,7 +113,7 @@ def build_workload(
         seed=seed,
         **overrides,
     )
-    generator = EthereumWorkloadGenerator(config)
+    generator = make_workload_generator(topology, config)
     transactions = generator.generate()
     sets_ = account_sets(transactions)
     graph = TransactionGraph()
@@ -122,6 +128,7 @@ def build_workload(
         graph=graph,
         blocks=blocks,
         card=card,
+        topology=topology,
     )
 
 

@@ -40,6 +40,7 @@ ADAPTIVE_PATH = BENCH_DIR / "BENCH_adaptive.json"
 RESILIENCE_PATH = BENCH_DIR / "BENCH_resilience.json"
 PARALLEL_PATH = BENCH_DIR / "BENCH_parallel.json"
 PARALLEL_SCALE2_PATH = BENCH_DIR / "BENCH_parallel.scale2.json"
+MATRIX_PATH = BENCH_DIR / "BENCH_matrix.json"
 
 GRID_SPEEDUP_GATE = 3.0
 VECTOR_GRID_GATE = 3.0
@@ -360,6 +361,68 @@ def test_parallel_scale2_speedup_gates():
             f"shard-parallel window speedup {ws:.2f}x at scale 2 fell below "
             f"the {PARALLEL_WINDOW_GATE}x gate"
         )
+
+
+def _load_matrix():
+    if not MATRIX_PATH.exists():
+        pytest.skip(
+            "benchmarks/BENCH_matrix.json absent; run "
+            "benchmarks/bench_matrix.py to regenerate"
+        )
+    return json.loads(MATRIX_PATH.read_text())
+
+
+def test_matrix_all_cells_complete():
+    payload = _load_matrix()
+    assert payload["all_cells_complete"] is True, (
+        f"scenario matrix completed {payload['cells']}/"
+        f"{payload['expected_cells']} cells (or a cell failed to drain); "
+        "rerun benchmarks/bench_matrix.py and investigate"
+    )
+    assert payload["cells"] == payload["expected_cells"]
+
+
+def test_matrix_deterministic():
+    """Same spec, same rows — modulo the runtime columns — and the
+    fork-pool fan-out may never change a result, only wall-clock."""
+    payload = _load_matrix()
+    assert payload["deterministic"] is True, (
+        "re-running the matrix spec changed non-runtime run-table columns"
+    )
+    assert payload["workers_identical"] is True, (
+        "pool-run matrix rows differ from the sequential rows"
+    )
+
+
+def test_matrix_txallo_beats_hash():
+    payload = _load_matrix()
+    assert payload["txallo_beats_hash"] is True, (
+        f"txallo committed TPS {payload['txallo_tps_ethereum']:.2f} fell "
+        f"below hash {payload['hash_tps_ethereum']:.2f} on the "
+        "planted-community workload; rerun benchmarks/bench_matrix.py"
+    )
+
+
+def test_matrix_run_table_schema():
+    payload = _load_matrix()
+    for key in (
+        "scale",
+        "grid_scale",
+        "spec",
+        "cells",
+        "expected_cells",
+        "all_cells_complete",
+        "deterministic",
+        "workers_identical",
+        "txallo_tps_ethereum",
+        "hash_tps_ethereum",
+        "txallo_beats_hash",
+        "matrix_seconds",
+        "rows",
+    ):
+        assert key in payload, key
+    assert payload["matrix_seconds"] > 0.0
+    assert len(payload["rows"]) == payload["cells"]
 
 
 def test_louvain_run_table_schema():

@@ -21,6 +21,7 @@ WARM_BENCH_PATH = BENCH_DIR / "bench_louvain_warm.py"
 ADAPTIVE_BENCH_PATH = BENCH_DIR / "bench_adaptive.py"
 RESILIENCE_BENCH_PATH = BENCH_DIR / "bench_resilience.py"
 PARALLEL_BENCH_PATH = BENCH_DIR / "bench_parallel.py"
+MATRIX_BENCH_PATH = BENCH_DIR / "bench_matrix.py"
 
 
 def _load_module(path):
@@ -238,6 +239,56 @@ def test_bench_parallel_regenerates_and_fans_out(tmp_path):
     if payload["window_objective_ratio_min"] is not None:
         assert payload["window_workers_independent"] is True
         assert payload["window_batched_runs"] > 0
+    assert bench.check_gates(payload) == []
+
+
+def test_bench_matrix_regenerates_and_gates(tmp_path):
+    """bench_matrix end-to-end at a small scale: the grid must complete,
+    stay deterministic across re-runs and worker counts, and keep txallo
+    ahead of hash on the planted-community topology — all structural
+    gates, so they hold at any scale.  Also exercises the artifact tree
+    (spec.json + per-run folders + run_table.csv)."""
+    bench = _load_module(MATRIX_BENCH_PATH)
+    out_path = tmp_path / "BENCH_matrix.json"
+    artifacts = tmp_path / "matrix-artifacts"
+    payload = bench.run_bench(scale=0.25, out_path=out_path, artifacts_dir=artifacts)
+
+    assert out_path.exists()
+    assert json.loads(out_path.read_text()) == payload
+
+    for key in (
+        "scale",
+        "grid_scale",
+        "spec",
+        "cells",
+        "expected_cells",
+        "all_cells_complete",
+        "deterministic",
+        "workers_identical",
+        "txallo_tps_ethereum",
+        "hash_tps_ethereum",
+        "txallo_beats_hash",
+        "matrix_seconds",
+        "rows",
+    ):
+        assert key in payload, key
+
+    assert (artifacts / "spec.json").exists()
+    assert (artifacts / "run_table.csv").exists()
+    run_dirs = list((artifacts / "runs").iterdir())
+    assert len(run_dirs) == payload["cells"]
+    for run_dir in run_dirs:
+        assert (run_dir / "result.json").exists()
+        assert (run_dir / "ticks.csv").exists()
+    assert bench.check_gates(payload) == []
+
+
+def test_committed_matrix_run_table_is_current():
+    """The checked-in BENCH_matrix.json must satisfy the standing gates."""
+    committed = BENCH_DIR / "BENCH_matrix.json"
+    assert committed.exists(), "run benchmarks/bench_matrix.py to regenerate"
+    bench = _load_module(MATRIX_BENCH_PATH)
+    payload = json.loads(committed.read_text())
     assert bench.check_gates(payload) == []
 
 

@@ -36,6 +36,19 @@ class TestParser:
         assert args.figure == "live-compare"
         assert args.lam == 12.5
 
+    def test_matrix_accepted(self):
+        args = build_parser().parse_args(
+            ["matrix", "--spec", "spec.json", "--out", "results"]
+        )
+        assert args.figure == "matrix"
+        assert args.spec == "spec.json"
+        assert args.out == "results"
+
+    def test_matrix_defaults(self):
+        args = build_parser().parse_args(["matrix"])
+        assert args.spec is None
+        assert args.out is None
+
 
 class TestMain:
     def test_fig1(self, capsys):
@@ -77,3 +90,31 @@ class TestMain:
         assert "committed TPS" in out
         for label in ("Our Method", "Random", "Metis", "Shard Scheduler"):
             assert label in out
+
+    def test_matrix_smoke_spec(self, capsys):
+        assert main(["matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario matrix" in out
+        assert "ethereum" in out
+        assert "hotspot" in out
+
+    def test_matrix_custom_spec_and_artifacts(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            '{"topologies": ["adversarial"], "scales": [0.02],'
+            ' "allocators": ["txallo", "hash"], "reps": 1}'
+        )
+        out_dir = tmp_path / "out"
+        assert main(
+            ["matrix", "--spec", str(spec_path), "--out", str(out_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "adversarial" in out
+        assert (out_dir / "run_table.csv").exists()
+        assert (out_dir / "spec.json").exists()
+
+    def test_matrix_bad_spec_rejected(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text('{"allocators": ["bogus"]}')
+        assert main(["matrix", "--spec", str(spec_path)]) == 2
+        assert "bogus" in capsys.readouterr().err

@@ -1,0 +1,105 @@
+"""Link-check the repo's markdown documentation. Stdlib only.
+
+Scans README.md and docs/**/*.md for markdown links and verifies that
+every *relative* link resolves to a file in the repo and that every
+anchored link (``file.md#section`` or ``#section``) points at a heading
+that exists. External ``http(s)://`` / ``mailto:`` links are not
+fetched — CI must stay hermetic — but their URLs are syntax-checked for
+whitespace.
+
+Usage::
+
+    python tools/check_links.py            # check README.md + docs/
+    python tools/check_links.py FILE...    # check specific files
+
+Exits 1 with one line per broken link, 0 when clean.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target) — excluding images' alt text
+#: distinction (images are links too, for existence purposes).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+(?:\s+\"[^\"]*\")?)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def default_files() -> List[Path]:
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("**/*.md")))
+    return [f for f in files if f.exists()]
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style heading anchor: lowercase, spaces to dashes, drop
+    everything that is not a word character or dash."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {slugify(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def iter_links(path: Path) -> Iterator[str]:
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        # Strip an optional markdown title: (file.md "Title")
+        target = target.split(' "', 1)[0].strip()
+        yield target
+
+
+def check_file(path: Path) -> List[Tuple[Path, str, str]]:
+    problems = []
+    for target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            if any(c.isspace() for c in target):
+                problems.append((path, target, "whitespace in URL"))
+            continue
+        base, _, fragment = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        if not dest.exists():
+            problems.append((path, target, "missing file"))
+            continue
+        if fragment:
+            if dest.suffix != ".md":
+                continue
+            if slugify(fragment) not in anchors_of(dest):
+                problems.append((path, target, f"missing anchor #{fragment}"))
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    files = [Path(a).resolve() for a in argv] if argv else default_files()
+    problems = []
+    for path in files:
+        if not path.exists():
+            problems.append((path, "-", "file not found"))
+            continue
+        problems.extend(check_file(path))
+    for path, target, why in problems:
+        try:
+            shown = path.relative_to(REPO)
+        except ValueError:
+            shown = path
+        print(f"BROKEN {shown}: {target} ({why})", file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
